@@ -1,0 +1,45 @@
+//===- BenchSupport.h - Shared harness helpers -----------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small formatting and driver helpers shared by the table/figure
+/// harness binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_BENCH_BENCHSUPPORT_H
+#define LIFT_BENCH_BENCHSUPPORT_H
+
+#include "stencil/Benchmarks.h"
+
+#include <cstdio>
+#include <string>
+
+namespace lift {
+namespace bench {
+
+/// "4096x4096"
+inline std::string extentsToString(const stencil::Extents &E) {
+  std::string S;
+  for (std::size_t I = 0; I != E.size(); ++I) {
+    if (I != 0)
+      S += "x";
+    S += std::to_string(E[I]);
+  }
+  return S;
+}
+
+inline void printRule(int Width = 100) {
+  for (int I = 0; I != Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace lift
+
+#endif // LIFT_BENCH_BENCHSUPPORT_H

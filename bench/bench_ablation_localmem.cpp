@@ -1,0 +1,59 @@
+//===- bench_ablation_localmem.cpp - Local memory ablation -----------------===//
+//
+// Part of the liftcpp project.
+//
+// Ablation for the paper's §4.2 design choice: the toLocal rewrite
+// (staging tiles in local memory) as a function of data reuse. Reuse
+// grows with the stencil's point count (5pt -> 9pt -> 25pt), so the
+// benefit of staging should grow with it on devices with real
+// scratchpads — and never materialize on the Mali-like device, whose
+// local memory is emulated.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "ocl/Device.h"
+#include "tuner/Tuner.h"
+
+#include <cstdio>
+
+using namespace lift;
+using namespace lift::stencil;
+using namespace lift::tuner;
+using namespace lift::bench;
+
+int main() {
+  std::printf("Ablation: local-memory staging (toLocal rule, paper 4.2)\n");
+  std::printf("Tiled variants (tile=16 outputs/dim) with and without "
+              "staging; ratio >1 means staging helps.\n");
+  printRule();
+  std::printf("%-14s %4s", "Benchmark", "Pts");
+  for (const ocl::DeviceSpec &Dev : ocl::paperDevices())
+    std::printf("  %10s/st %10s/un %6s", Dev.Name.c_str() + 0, "", "ratio");
+  std::printf("\n");
+  printRule();
+
+  for (const char *Name : {"Jacobi2D5pt", "Jacobi2D9pt", "Gaussian"}) {
+    const Benchmark &B = findBenchmark(Name);
+    TuningProblem P = makeProblem(B, false);
+
+    Candidate Staged, Unstaged;
+    Staged.Options.Tile = Unstaged.Options.Tile = true;
+    Staged.Options.TileOutputs = Unstaged.Options.TileOutputs = 16;
+    Staged.Options.UseLocalMem = true;
+
+    std::printf("%-14s %4d", B.Name.c_str(), B.Points);
+    for (const ocl::DeviceSpec &Dev : ocl::paperDevices()) {
+      Evaluated S = evaluateCandidate(P, Dev, Staged);
+      Evaluated U = evaluateCandidate(P, Dev, Unstaged);
+      if (S.Valid && U.Valid)
+        std::printf("  %13.3f %13.3f %5.2fx", S.GElemsPerSec,
+                    U.GElemsPerSec, S.GElemsPerSec / U.GElemsPerSec);
+      else
+        std::printf("  %13s %13s %6s", "-", "-", "-");
+    }
+    std::printf("\n");
+  }
+  printRule();
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench_ablation_tiling.cpp - Overlapped tiling ablation --------------===//
+//
+// Part of the liftcpp project.
+//
+// Ablation for the paper's §4.1 design choice: sweep the overlapped
+// tiling rule's tile size (with and without local-memory staging)
+// against the untiled baseline, per device. Shows where the rewrite
+// rule pays off and where it costs — the reason tiling must be a
+// searchable *choice*, not a hard-coded strategy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "ocl/Device.h"
+#include "tuner/Tuner.h"
+
+#include <cstdio>
+
+using namespace lift;
+using namespace lift::stencil;
+using namespace lift::tuner;
+using namespace lift::bench;
+
+int main() {
+  std::printf("Ablation: overlapped tiling (rule of paper 4.1), "
+              "GElements/s at the small target size\n");
+
+  for (const char *Name : {"Jacobi2D9pt", "Gaussian", "Jacobi3D7pt"}) {
+    const Benchmark &B = findBenchmark(Name);
+    TuningProblem P = makeProblem(B, /*LargeTarget=*/false);
+
+    printRule();
+    std::printf("%s (%s, %d points)\n", B.Name.c_str(),
+                extentsToString(P.Target).c_str(), B.Points);
+    printRule();
+    std::printf("%-22s", "Variant");
+    for (const ocl::DeviceSpec &Dev : ocl::paperDevices())
+      std::printf(" %12s", Dev.Name.c_str());
+    std::printf("\n");
+
+    std::vector<Candidate> Variants;
+    {
+      Candidate C;
+      C.Launch.WorkGroupSize = 128;
+      Variants.push_back(C); // untiled baseline
+    }
+    for (std::int64_t V : {4, 8, 16, 32}) {
+      for (bool Local : {false, true}) {
+        Candidate C;
+        C.Options.Tile = true;
+        C.Options.TileOutputs = V;
+        C.Options.UseLocalMem = Local;
+        Variants.push_back(C);
+      }
+    }
+
+    for (const Candidate &C : Variants) {
+      std::printf("%-22s", C.Options.describe().c_str());
+      for (const ocl::DeviceSpec &Dev : ocl::paperDevices()) {
+        Evaluated E = evaluateCandidate(P, Dev, C);
+        if (E.Valid)
+          std::printf(" %12.3f", E.GElemsPerSec);
+        else
+          std::printf(" %12s", "-");
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

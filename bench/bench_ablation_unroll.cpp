@@ -1,0 +1,59 @@
+//===- bench_ablation_unroll.cpp - Reduction unrolling ablation ------------===//
+//
+// Part of the liftcpp project.
+//
+// Ablation for the paper's §4.3 design choice: reduceSeqUnroll on/off
+// across stencils of growing neighborhood size (the unrolled loop body
+// grows with the point count).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "ocl/Device.h"
+#include "tuner/Tuner.h"
+
+#include <cstdio>
+
+using namespace lift;
+using namespace lift::stencil;
+using namespace lift::tuner;
+using namespace lift::bench;
+
+int main() {
+  std::printf("Ablation: reduction unrolling (reduceSeqUnroll, paper "
+              "4.3), untiled variants, wg=128\n");
+  std::printf("Only reduce-style programs (Listing 2 formulation, e.g. "
+              "Jacobi2D9pt) contain a\nreduction to unroll; "
+              "point-extraction formulations are unaffected.\n");
+  printRule(110);
+  std::printf("%-14s %-12s %12s %12s %10s %10s %8s\n", "Benchmark",
+              "Device", "GE/s +u", "GE/s -u", "tComp+u", "tComp-u",
+              "compGain");
+  printRule(110);
+
+  for (const char *Name : {"Jacobi2D9pt"}) {
+    const Benchmark &B = findBenchmark(Name);
+    TuningProblem P = makeProblem(B, false);
+
+    Candidate On, Off;
+    On.Options.UnrollReduce = true;
+    On.Launch.WorkGroupSize = Off.Launch.WorkGroupSize = 128;
+
+    for (const ocl::DeviceSpec &Dev : ocl::paperDevices()) {
+      Evaluated EOn = evaluateCandidate(P, Dev, On);
+      Evaluated EOff = evaluateCandidate(P, Dev, Off);
+      std::printf("%-14s %-12s %12.3f %12.3f %9.2fms %9.2fms %7.2fx\n",
+                  B.Name.c_str(), Dev.Name.c_str(), EOn.GElemsPerSec,
+                  EOff.GElemsPerSec, EOn.T.ComputeTime * 1e3,
+                  EOff.T.ComputeTime * 1e3,
+                  EOff.T.ComputeTime / EOn.T.ComputeTime);
+    }
+  }
+  printRule(110);
+  std::printf("Unrolling removes per-iteration loop overhead; these "
+              "stencils are memory-bound, so the\ncompute-side gain "
+              "(compGain) rarely moves end-to-end throughput -- one "
+              "reason the paper\ntreats unrolling as a searchable "
+              "choice rather than a default.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- bench_figure8.cpp - Reproduces Figure 8 ----------------------------===//
+//
+// Part of the liftcpp project.
+//
+// Figure 8: speedup of Lift-generated kernels over PPCG-generated
+// kernels, both auto-tuned, for small and large input sizes on the
+// three modeled GPUs. PPCG is modeled as a restricted schedule space:
+// always rectangular overlapped tiling with shared-memory staging and
+// tunable per-thread sequential work (its default stencil schedule,
+// per the paper's analysis); Lift additionally explores untiled
+// variants. Large sizes are skipped on the ARM GPU (paper: they did
+// not fit its memory).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "ocl/Device.h"
+#include "tuner/Tuner.h"
+
+#include <cstdio>
+
+using namespace lift;
+using namespace lift::stencil;
+using namespace lift::tuner;
+using namespace lift::bench;
+
+int main() {
+  std::printf("Figure 8: speedup of Lift over PPCG (both tuned)\n");
+  printRule(110);
+  std::printf("%-12s %-13s %-6s %10s %10s %8s  %-24s %s\n", "Device",
+              "Benchmark", "Size", "Lift", "PPCG", "Speedup",
+              "Lift variant", "PPCG variant");
+  printRule(110);
+
+  int LiftTiledBest[3] = {0, 0, 0};
+  int Cases[3] = {0, 0, 0};
+  int DevIdx = 0;
+  for (const ocl::DeviceSpec &Dev : ocl::paperDevices()) {
+    for (const Benchmark &B : allBenchmarks()) {
+      if (!B.InFigure8)
+        continue;
+      for (bool Large : {false, true}) {
+        if (Large && Dev.Name == "MaliT628")
+          continue; // did not fit the ARM GPU in the paper
+        TuningProblem P = makeProblem(B, Large);
+
+        TuneResult Lift = tuneStencil(P, Dev, liftSpace());
+        TuneResult Ppcg = tuneStencil(P, Dev, ppcgSpace());
+
+        ++Cases[DevIdx];
+        if (Lift.Best.C.Options.Tile)
+          ++LiftTiledBest[DevIdx];
+
+        std::printf("%-12s %-13s %-6s %10.3f %10.3f %7.2fx  %-24s %s\n",
+                    Dev.Name.c_str(), B.Name.c_str(),
+                    Large ? "large" : "small", Lift.Best.GElemsPerSec,
+                    Ppcg.Best.GElemsPerSec,
+                    Lift.Best.GElemsPerSec / Ppcg.Best.GElemsPerSec,
+                    Lift.Best.C.describe().c_str(),
+                    Ppcg.Best.C.describe().c_str());
+      }
+    }
+    printRule(110);
+    ++DevIdx;
+  }
+
+  const char *Names[3] = {"NvidiaK20c", "AmdHd7970", "MaliT628"};
+  std::printf("Best-Lift variants using tiling: ");
+  for (int D = 0; D != 3; ++D)
+    std::printf("%s %d/%d  ", Names[D], LiftTiledBest[D], Cases[D]);
+  std::printf("\nPaper shape: Lift >= PPCG nearly everywhere (up to ~4x on "
+              "NVIDIA, one larger outlier);\nresults tighter on ARM; "
+              "tiling only ever wins on NVIDIA (paper: 33%% there, none "
+              "on AMD/ARM).\n");
+  return 0;
+}

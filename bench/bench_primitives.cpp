@@ -1,0 +1,113 @@
+//===- bench_primitives.cpp - Compiler-path microbenchmarks ----------------===//
+//
+// Part of the liftcpp project.
+//
+// google-benchmark microbenchmarks of the compilation substrate: view
+// resolution, symbolic arithmetic simplification, code generation and
+// simulator execution throughput. These measure *this repository's*
+// compiler, not the modeled GPUs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Runner.h"
+#include "codegen/View.h"
+#include "ocl/Emitter.h"
+#include "stencil/StencilOps.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::codegen;
+using namespace lift::stencil;
+
+namespace {
+
+AExpr sizeVar(const char *Name) { return var(Name, Range(1, 1 << 30)); }
+
+Program jacobiLowered1D(AExpr N) {
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  LambdaPtr SumNbh = lam("nbh", [](ExprPtr Nbh) {
+    return theOne(reduceSeq(etaLambda(ufAddFloat()), lit(0.0f), Nbh));
+  });
+  return makeProgram(
+      {A}, mapGlb(0, SumNbh,
+                  slide(cst(3), cst(1),
+                        pad(cst(1), cst(1), Boundary::clamp(), A))));
+}
+
+void BM_ArithSimplifyIndex(benchmark::State &State) {
+  AExpr N = sizeVar("n");
+  AExpr I = var("i", Range(0, (1 << 20) - 1));
+  for (auto _ : State) {
+    // The classic split/join round trip index.
+    AExpr E = add(mul(floorDiv(I, cst(4)), cst(4)), floorMod(I, cst(4)));
+    benchmark::DoNotOptimize(E);
+  }
+}
+BENCHMARK(BM_ArithSimplifyIndex);
+
+void BM_ViewResolveSlidePad(benchmark::State &State) {
+  AExpr N = sizeVar("n");
+  ViewPtr V = vSlide(cst(3), cst(1),
+                     vPad(cst(1), N, Boundary::clamp(),
+                          vMemory(0, arrayT(floatT(), N))));
+  AExpr I = var("i", Range(0, 1 << 20));
+  AExpr J = var("j", Range(0, 2));
+  for (auto _ : State) {
+    ocl::KExprPtr L =
+        resolveLoad(vAccess(J, vAccess(I, V)), ResolveCallbacks());
+    benchmark::DoNotOptimize(L);
+  }
+}
+BENCHMARK(BM_ViewResolveSlidePad);
+
+void BM_CompileJacobi1D(benchmark::State &State) {
+  AExpr N = sizeVar("n");
+  Program P = jacobiLowered1D(N);
+  for (auto _ : State) {
+    Compiled C = compileProgram(cloneProgram(P), "bm");
+    benchmark::DoNotOptimize(C.OutputBufferId);
+  }
+}
+BENCHMARK(BM_CompileJacobi1D);
+
+void BM_EmitOpenCL(benchmark::State &State) {
+  AExpr N = sizeVar("n");
+  Compiled C = compileProgram(jacobiLowered1D(N), "bm");
+  for (auto _ : State) {
+    std::string Src = ocl::emitOpenCL(C.K);
+    benchmark::DoNotOptimize(Src.size());
+  }
+}
+BENCHMARK(BM_EmitOpenCL);
+
+void BM_SimulatorThroughput(benchmark::State &State) {
+  AExpr N = sizeVar("n");
+  Compiled C = compileProgram(jacobiLowered1D(N), "bm");
+  std::int64_t Len = State.range(0);
+  std::vector<float> In(std::size_t(Len), 1.0f);
+  ocl::SizeEnv Sizes{{N->getVarId(), Len}};
+  for (auto _ : State) {
+    RunResult R = runCompiled(C, {In}, Sizes);
+    benchmark::DoNotOptimize(R.Output.data());
+  }
+  State.SetItemsProcessed(State.iterations() * Len);
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(1024)->Arg(16384);
+
+void BM_InterpreterVsSimProgramBuild(benchmark::State &State) {
+  // Cost of constructing the full 2D stencil expression tree.
+  for (auto _ : State) {
+    AExpr N = sizeVar("n");
+    ParamPtr A = param("A", arrayT(arrayT(floatT(), N), N));
+    ExprPtr E = stencilNd(2, sumNeighborhood(2), cst(3), cst(1), cst(1),
+                          cst(1), Boundary::clamp(), A);
+    benchmark::DoNotOptimize(E.get());
+  }
+}
+BENCHMARK(BM_InterpreterVsSimProgramBuild);
+
+} // namespace
+
+BENCHMARK_MAIN();

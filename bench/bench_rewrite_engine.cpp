@@ -1,0 +1,82 @@
+//===- bench_rewrite_engine.cpp - Rewrite engine microbenchmarks -----------===//
+//
+// Part of the liftcpp project.
+//
+// google-benchmark microbenchmarks of the rewrite machinery: rule
+// application, the overlapped-tiling rule, and full stencil lowering.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Lowering.h"
+#include "stencil/Benchmarks.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::rewrite;
+using namespace lift::stencil;
+
+namespace {
+
+void BM_TilingRuleApplication(benchmark::State &State) {
+  const Benchmark &B = findBenchmark("Jacobi2D5pt");
+  BenchmarkInstance I = B.Build();
+  Rule R = tiling1DRule(16);
+  for (auto _ : State) {
+    // 2D programs contain a 1D slide inside slideNd; count matches.
+    int Matches = countMatches(R, I.P->getBody());
+    benchmark::DoNotOptimize(Matches);
+  }
+}
+BENCHMARK(BM_TilingRuleApplication);
+
+void BM_LowerStencilGlobal(benchmark::State &State) {
+  const Benchmark &B = findBenchmark("Jacobi2D9pt");
+  BenchmarkInstance I = B.Build();
+  LoweringOptions O;
+  for (auto _ : State) {
+    Program Low = lowerStencil(I.P, O);
+    benchmark::DoNotOptimize(Low.get());
+  }
+}
+BENCHMARK(BM_LowerStencilGlobal);
+
+void BM_LowerStencilTiledLocal(benchmark::State &State) {
+  const Benchmark &B = findBenchmark("Jacobi2D9pt");
+  BenchmarkInstance I = B.Build();
+  LoweringOptions O;
+  O.Tile = true;
+  O.TileOutputs = 16;
+  O.UseLocalMem = true;
+  for (auto _ : State) {
+    Program Low = lowerStencil(I.P, O);
+    benchmark::DoNotOptimize(Low.get());
+  }
+}
+BENCHMARK(BM_LowerStencilTiledLocal);
+
+void BM_MatchSlideNd3D(benchmark::State &State) {
+  const Benchmark &B = findBenchmark("Jacobi3D7pt");
+  BenchmarkInstance I = B.Build();
+  std::optional<MapNdMatch> M = matchMapNd(I.P->getBody());
+  for (auto _ : State) {
+    std::optional<SlideNdMatch> S = matchSlideNd(M->Input);
+    benchmark::DoNotOptimize(S.has_value());
+  }
+}
+BENCHMARK(BM_MatchSlideNd3D);
+
+void BM_CloneProgram3D(benchmark::State &State) {
+  const Benchmark &B = findBenchmark("Poisson");
+  BenchmarkInstance I = B.Build();
+  for (auto _ : State) {
+    Program P = cloneProgram(I.P);
+    benchmark::DoNotOptimize(P.get());
+  }
+}
+BENCHMARK(BM_CloneProgram3D);
+
+} // namespace
+
+BENCHMARK_MAIN();

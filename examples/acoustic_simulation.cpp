@@ -1,0 +1,72 @@
+//===- acoustic_simulation.cpp - Room acoustics (paper §3.5) --------------===//
+//
+// Part of the liftcpp project.
+//
+// The paper's flagship complex stencil (Listing 3): a 3D room-acoustics
+// wave propagation with two time-step grids and an on-the-fly neighbor
+// mask. This example runs several leapfrog time steps by ping-ponging
+// the compiled kernel's grids, injects an impulse source, and prints
+// the wavefront amplitude observed at a receiver position over time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Runner.h"
+#include "rewrite/Lowering.h"
+#include "stencil/Benchmarks.h"
+
+#include <cstdio>
+#include <cmath>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::stencil;
+using namespace lift::rewrite;
+using namespace lift::codegen;
+
+int main() {
+  const Benchmark &B = findBenchmark("Acoustic");
+  BenchmarkInstance I = B.Build();
+
+  LoweringOptions O;
+  Program Low = lowerStencil(I.P, O);
+  Compiled C = compileProgram(Low, "acoustic");
+
+  // A small room: 16 x 24 x 24 grid points.
+  Extents E = {16, 24, 24};
+  auto Sizes = makeSizeEnv(I, E);
+  std::size_t Total = std::size_t(totalElems(E));
+
+  std::vector<float> Prev(Total, 0.0f), Cur(Total, 0.0f);
+  auto Idx = [&](std::int64_t I0, std::int64_t I1, std::int64_t I2) {
+    return std::size_t((I0 * E[1] + I1) * E[2] + I2);
+  };
+  // Impulse source near one corner; receiver toward the middle
+  // (Manhattan distance 16: the 7-point stencil propagates one cell
+  // per step along the axes).
+  Cur[Idx(4, 6, 6)] = 1.0f;
+  std::size_t Receiver = Idx(8, 12, 12);
+
+  std::printf("Room acoustics simulation (paper Listing 3) on a "
+              "%lldx%lldx%lld grid\n",
+              (long long)E[0], (long long)E[1], (long long)E[2]);
+  std::printf("impulse at (4,6,6), receiver at (8,12,12)\n\n");
+  std::printf("%6s %14s %14s\n", "step", "receiver", "energy");
+
+  for (int Step = 0; Step != 24; ++Step) {
+    RunResult R = runCompiled(C, {Prev, Cur}, Sizes);
+    Prev = Cur;
+    Cur = R.Output;
+
+    double Energy = 0;
+    for (float V : Cur)
+      Energy += double(V) * double(V);
+    std::printf("%6d %14.4e %14.4e\n", Step + 1, Cur[Receiver],
+                std::sqrt(Energy));
+  }
+
+  std::printf("\nThe wavefront reaches the receiver after ~16 steps "
+              "(its Manhattan distance from the source) and the\n"
+              "total energy stays bounded thanks to the boundary loss "
+              "coefficients applied where the neighbor mask < 6.\n");
+  return 0;
+}

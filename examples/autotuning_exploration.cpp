@@ -1,0 +1,64 @@
+//===- autotuning_exploration.cpp - Exploring the rewrite space -----------===//
+//
+// Part of the liftcpp project.
+//
+// Shows the exploration workflow the paper automates: one high-level
+// stencil program, many low-level variants produced by rewriting
+// (tiling on/off, tile sizes, local memory, coarsening, unrolling),
+// each evaluated on each modeled device. Prints the whole variant table
+// so the per-device winners — the paper's performance-portability
+// argument — are visible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/Tuner.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace lift;
+using namespace lift::stencil;
+using namespace lift::tuner;
+
+int main() {
+  const Benchmark &B = findBenchmark("Jacobi2D9pt");
+  std::printf("Exploring implementation variants of %s (%s, %d points)\n\n",
+              B.Name.c_str(), B.Suite.c_str(), B.Points);
+
+  TuningSpace Space = liftSpace();
+  // Keep the table readable.
+  Space.TileOutputs = {8, 16, 32, 64};
+  Space.TileCoarsenFactors = {1, 4};
+  Space.CoarsenFactors = {1, 2, 4};
+  Space.WorkGroupSizes = {64, 256};
+  Space.AllowUnroll = false;
+
+  for (const ocl::DeviceSpec &Dev : ocl::paperDevices()) {
+    TuningProblem P = makeProblem(B, /*LargeTarget=*/false);
+    TuneResult R = tuneStencil(P, Dev, Space);
+
+    std::sort(R.All.begin(), R.All.end(),
+              [](const Evaluated &A, const Evaluated &B2) {
+                return A.GElemsPerSec > B2.GElemsPerSec;
+              });
+
+    std::printf("=== %s ===\n", Dev.Name.c_str());
+    std::printf("%-28s %10s %8s %8s %8s\n", "variant", "GElem/s", "t_mem",
+                "t_comp", "t_local");
+    std::size_t Show = std::min<std::size_t>(R.All.size(), 8);
+    for (std::size_t I = 0; I != Show; ++I) {
+      const Evaluated &E = R.All[I];
+      std::printf("%-28s %10.3f %7.2fm %7.2fm %7.2fm%s\n",
+                  E.C.describe().c_str(), E.GElemsPerSec, E.T.MemTime * 1e3,
+                  E.T.ComputeTime * 1e3, E.T.LocalTime * 1e3,
+                  I == 0 ? "   <-- best" : "");
+    }
+    std::printf("(%zu variants evaluated)\n\n", R.All.size());
+  }
+
+  std::printf("Note how the winning variant differs per device — the "
+              "performance-portability effect\nthe paper attributes to "
+              "searching rewrite-generated spaces instead of hard-coding "
+              "one strategy.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- custom_stencil.cpp - Defining your own stencil -----------------------===//
+//
+// Part of the liftcpp project.
+//
+// Shows the library as a user would adopt it: define a new scalar
+// user function, compose a 2D stencil from the pad/slide/map building
+// blocks with a *mirror* boundary, lower it two ways, inspect the
+// generated OpenCL, and validate against a plain loop nest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Runner.h"
+#include "ocl/Emitter.h"
+#include "rewrite/Lowering.h"
+#include "stencil/StencilOps.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::stencil;
+using namespace lift::rewrite;
+using namespace lift::codegen;
+
+int main() {
+  // A sharpening filter: out = 5c - (n + s + e + w), clamped at 0.
+  UserFunPtr Sharpen = makeUserFun(
+      "sharpen", {"n", "w", "c", "e", "s"},
+      std::vector<ScalarKind>(5, ScalarKind::Float), ScalarKind::Float,
+      "return fmax(0.0f, 5.0f * c - (n + w + e + s));",
+      [](const std::vector<Scalar> &A) {
+        return Scalar(std::fmax(
+            0.0f, 5.0f * A[2].F - (A[0].F + A[1].F + A[3].F + A[4].F)));
+      },
+      /*FlopCost=*/6);
+
+  // Compose the stencil: mirror boundaries, 3x3 window, cross points.
+  AExpr N = var("n", Range(1, 1 << 30));
+  AExpr M = var("m", Range(1, 1 << 30));
+  ParamPtr A = param("img", arrayT(arrayT(floatT(), M), N));
+  LambdaPtr F = lam("nbh", [&](ExprPtr Nbh) {
+    return ir::apply(Sharpen, {atNd({0, 1}, Nbh), atNd({1, 0}, Nbh),
+                               atNd({1, 1}, Nbh), atNd({1, 2}, Nbh),
+                               atNd({2, 1}, Nbh)});
+  });
+  Program P = makeProgram(
+      {A}, stencilNd(2, F, cst(3), cst(1), cst(1), cst(1),
+                     Boundary::mirror(), A));
+
+  // Lower it twice: plain and tiled+local.
+  LoweringOptions Plain;
+  LoweringOptions TiledLocal;
+  TiledLocal.Tile = true;
+  TiledLocal.TileOutputs = 8;
+  TiledLocal.UseLocalMem = true;
+
+  Program LowPlain = lowerStencil(P, Plain);
+  Program LowTiled = lowerStencil(P, TiledLocal);
+  Compiled CPlain = compileProgram(LowPlain, "sharpen_plain");
+  Compiled CTiled = compileProgram(LowTiled, "sharpen_tiled");
+
+  std::printf("Generated OpenCL (tiled + local-memory variant):\n%s\n",
+              ocl::emitOpenCL(CTiled.K).c_str());
+
+  // Validate both against a straight loop nest on a 16x24 image.
+  std::int64_t Rows = 16, Cols = 24;
+  std::vector<float> Img(std::size_t(Rows * Cols));
+  for (std::size_t I = 0; I != Img.size(); ++I)
+    Img[I] = float((I * 37 + 11) % 101) / 100.0f;
+
+  auto LoadMirror = [&](std::int64_t I, std::int64_t J) {
+    I = resolveBoundaryIndex(Boundary::Kind::Mirror, I, Rows);
+    J = resolveBoundaryIndex(Boundary::Kind::Mirror, J, Cols);
+    return Img[std::size_t(I * Cols + J)];
+  };
+  std::vector<float> Want;
+  for (std::int64_t I = 0; I != Rows; ++I)
+    for (std::int64_t J = 0; J != Cols; ++J)
+      Want.push_back(std::fmax(
+          0.0f, 5.0f * LoadMirror(I, J) -
+                    (LoadMirror(I - 1, J) + LoadMirror(I, J - 1) +
+                     LoadMirror(I, J + 1) + LoadMirror(I + 1, J))));
+
+  ocl::SizeEnv Sizes{{N->getVarId(), Rows}, {M->getVarId(), Cols}};
+  RunResult RPlain = runCompiled(CPlain, {Img}, Sizes);
+  RunResult RTiled = runCompiled(CTiled, {Img}, Sizes);
+
+  bool OkPlain = RPlain.Output == Want;
+  bool OkTiled = RTiled.Output == Want;
+  std::printf("plain variant matches loop nest: %s\n",
+              OkPlain ? "yes" : "NO");
+  std::printf("tiled variant matches loop nest: %s\n",
+              OkTiled ? "yes" : "NO");
+  std::printf("tiled variant local-memory traffic: %llu loads, %llu "
+              "stores\n",
+              (unsigned long long)RTiled.Counters.LocalLoads,
+              (unsigned long long)RTiled.Counters.LocalStores);
+  return OkPlain && OkTiled ? 0 : 1;
+}

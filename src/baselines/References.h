@@ -1,0 +1,43 @@
+//===- References.h - Hand-written reference kernel models -----*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models of the hand-written reference kernels the paper compares
+/// against in Figure 7 (SHOC v1.1.5, Rodinia v3.1, and the acoustic
+/// simulation code). Each reference is a *fixed* implementation choice
+/// — the way those kernels were written once, typically for an NVIDIA
+/// card, with hard-coded work-group sizes and no per-device tuning —
+/// expressed as a pinned point in our implementation space and executed
+/// through exactly the same code generator and simulator as the Lift
+/// variants. The contrast Lift-tuned vs. reference-fixed is the effect
+/// Figure 7 measures.
+///
+/// The PPCG baseline of Figure 8 is NOT here: it is a restricted
+/// *tuning space* (tuner::ppcgSpace()) — always-tiled, shared-memory
+/// staged, thread-coarsened schedules, tuned like the paper tunes PPCG
+/// tile/block sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_BASELINES_REFERENCES_H
+#define LIFT_BASELINES_REFERENCES_H
+
+#include "stencil/Benchmarks.h"
+#include "tuner/Tuner.h"
+
+namespace lift {
+namespace baselines {
+
+/// The fixed configuration modeling \p B's hand-written reference
+/// kernel. Fatal for benchmarks without one (only the Figure 7 set has
+/// references).
+tuner::Candidate referenceCandidate(const stencil::Benchmark &B);
+
+} // namespace baselines
+} // namespace lift
+
+#endif // LIFT_BASELINES_REFERENCES_H

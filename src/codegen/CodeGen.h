@@ -1,0 +1,52 @@
+//===- CodeGen.h - Low-level Lift IR to kernel AST -------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a *low-level* Lift program (parallelism mapped with
+/// mapGlb/mapWrg/mapLcl/mapSeq, reductions sequentialized, address
+/// spaces chosen) into an imperative Kernel:
+///
+///  * data-layout primitives become views and vanish into index
+///    arithmetic (paper §5);
+///  * map-family primitives become loops over the corresponding id
+///    space;
+///  * reduceSeq becomes an accumulator register and a sequential loop
+///    (reduceSeqUnroll marks the loop for unrolling, paper §4.3);
+///  * lambdas carrying a Local/Private address space materialize their
+///    result into local/private buffers with a barrier after local
+///    writes (paper §4.2).
+///
+/// High-level primitives (map, reduce, iterate) are rejected: the
+/// rewrite engine must lower them first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_CODEGEN_CODEGEN_H
+#define LIFT_CODEGEN_CODEGEN_H
+
+#include "ir/Expr.h"
+#include "ocl/KernelAst.h"
+
+namespace lift {
+namespace codegen {
+
+/// The result of compiling a program: the kernel plus the buffer ids of
+/// the program inputs (in parameter order) and the output.
+struct Compiled {
+  ocl::Kernel K;
+  std::vector<int> InputBufferIds;
+  int OutputBufferId = -1;
+};
+
+/// Compiles low-level program \p P into a kernel named \p Name. Runs
+/// type inference on \p P if needed. Fatal on high-level primitives.
+Compiled compileProgram(const ir::Program &P, const std::string &Name);
+
+} // namespace codegen
+} // namespace lift
+
+#endif // LIFT_CODEGEN_CODEGEN_H

@@ -1,0 +1,36 @@
+//===- Runner.cpp - Compile-and-simulate convenience -------------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Runner.h"
+
+#include "support/Support.h"
+
+using namespace lift;
+using namespace lift::codegen;
+using namespace lift::ocl;
+
+RunResult lift::codegen::runCompiled(
+    const Compiled &C, const std::vector<std::vector<float>> &Inputs,
+    const SizeEnv &Sizes, const CacheConfig &Cache) {
+  if (Inputs.size() != C.InputBufferIds.size())
+    fatalError("runCompiled: input count mismatch");
+  Executor Ex(C.K, Sizes, Cache);
+  for (std::size_t I = 0, E = Inputs.size(); I != E; ++I)
+    Ex.bindInput(C.InputBufferIds[I], Inputs[I]);
+  Ex.run();
+  RunResult R;
+  R.Output = Ex.bufferContents(C.OutputBufferId);
+  R.Counters = Ex.counters();
+  R.NDRange = analyzeNDRange(C.K, Sizes);
+  return R;
+}
+
+RunResult lift::codegen::runOnSim(
+    const ir::Program &P, const std::vector<std::vector<float>> &Inputs,
+    const SizeEnv &Sizes, const CacheConfig &Cache) {
+  Compiled C = compileProgram(P, "kernel_fn");
+  return runCompiled(C, Inputs, Sizes, Cache);
+}

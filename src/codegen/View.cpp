@@ -1,0 +1,324 @@
+//===- View.cpp - Lift views: data layout as index arithmetic ---------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/View.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+#include <optional>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::codegen;
+using namespace lift::ocl;
+
+static std::shared_ptr<View> makeView(View::Kind K) {
+  auto V = std::make_shared<View>();
+  V->K = K;
+  return V;
+}
+
+ViewPtr lift::codegen::vMemory(int BufferId, TypePtr MemType) {
+  auto V = makeView(View::Kind::Memory);
+  V->BufferId = BufferId;
+  V->MemType = std::move(MemType);
+  return V;
+}
+
+ViewPtr lift::codegen::vTuple(std::vector<ViewPtr> Comps) {
+  auto V = makeView(View::Kind::Tuple);
+  V->Comps = std::move(Comps);
+  return V;
+}
+
+ViewPtr lift::codegen::vSplit(AExpr ChunkSize, ViewPtr Base) {
+  auto V = makeView(View::Kind::Split);
+  V->ChunkSize = std::move(ChunkSize);
+  V->Base = std::move(Base);
+  return V;
+}
+
+ViewPtr lift::codegen::vJoin(AExpr InnerSize, ViewPtr Base) {
+  auto V = makeView(View::Kind::Join);
+  V->InnerSize = std::move(InnerSize);
+  V->Base = std::move(Base);
+  return V;
+}
+
+ViewPtr lift::codegen::vSlide(AExpr Size, AExpr Step, ViewPtr Base) {
+  auto V = makeView(View::Kind::Slide);
+  V->Size = std::move(Size);
+  V->Step = std::move(Step);
+  V->Base = std::move(Base);
+  return V;
+}
+
+ViewPtr lift::codegen::vPad(AExpr PadLeft, AExpr PadInnerLen, Boundary B,
+                            ViewPtr Base) {
+  auto V = makeView(View::Kind::Pad);
+  V->PadLeft = std::move(PadLeft);
+  V->PadInnerLen = std::move(PadInnerLen);
+  V->Bdy = B;
+  V->Base = std::move(Base);
+  return V;
+}
+
+ViewPtr lift::codegen::vTranspose(ViewPtr Base) {
+  auto V = makeView(View::Kind::Transpose);
+  V->Base = std::move(Base);
+  return V;
+}
+
+ViewPtr lift::codegen::vAccess(AExpr Index, ViewPtr Base) {
+  auto V = makeView(View::Kind::Access);
+  V->Index = std::move(Index);
+  V->Base = std::move(Base);
+  return V;
+}
+
+ViewPtr lift::codegen::vTupleAccess(int Component, ViewPtr Base) {
+  auto V = makeView(View::Kind::TupleAccess);
+  V->Component = Component;
+  V->Base = std::move(Base);
+  return V;
+}
+
+ViewPtr lift::codegen::vGenerate(LambdaPtr GenFun,
+                                 std::vector<AExpr> GenSizes) {
+  auto V = makeView(View::Kind::Generate);
+  V->GenFun = std::move(GenFun);
+  V->GenSizes = std::move(GenSizes);
+  return V;
+}
+
+ViewPtr lift::codegen::vScalar(KExprPtr Val) {
+  auto V = makeView(View::Kind::ScalarExpr);
+  V->ScalarVal = std::move(Val);
+  return V;
+}
+
+ViewPtr lift::codegen::vMapLazy(LambdaPtr MapFun, ViewPtr Base) {
+  auto V = makeView(View::Kind::MapLazy);
+  V->MapFun = std::move(MapFun);
+  V->Base = std::move(Base);
+  return V;
+}
+
+ViewPtr lift::codegen::vMapLazyFn(
+    std::function<ViewPtr(const ViewPtr &)> Fn, ViewPtr Base) {
+  auto V = makeView(View::Kind::MapLazyFn);
+  V->MapViewFn = std::move(Fn);
+  V->Base = std::move(Base);
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Resolution
+//===----------------------------------------------------------------------===//
+
+/// The symbolic equivalent of ir::resolveBoundaryIndex.
+static AExpr boundaryIndexExpr(Boundary::Kind K, AExpr I, AExpr N) {
+  switch (K) {
+  case Boundary::Kind::Clamp:
+    return clampIndex(std::move(I), std::move(N));
+  case Boundary::Kind::Mirror: {
+    // j = i mod 2n; min(j, 2n - 1 - j)
+    AExpr TwoN = mul(cst(2), N);
+    AExpr J = floorMod(std::move(I), TwoN);
+    return amin(J, sub(sub(TwoN, cst(1)), J));
+  }
+  case Boundary::Kind::Wrap:
+    return floorMod(std::move(I), std::move(N));
+  case Boundary::Kind::Constant:
+    break;
+  }
+  unreachable("constant boundary has no index function");
+}
+
+namespace {
+
+/// The two LIFO stacks of the view resolution walk plus the constant-pad
+/// bookkeeping accumulated along the way.
+struct ResolveState {
+  std::vector<AExpr> IdxStack;      ///< back = outermost pending index
+  std::vector<int> TupleStack;      ///< back = innermost pending selection
+  std::vector<BoundsCheck> Checks;  ///< constant-pad guards (outer first)
+  std::vector<float> ConstVals;     ///< fallback value per guard
+};
+
+} // namespace
+
+/// Wraps \p Inner in the accumulated constant-pad guards, innermost
+/// first, so an out-of-bounds outer pad dominates an inner one. Each
+/// guard carries its own constant, so nested constant pads with
+/// different values compose correctly.
+static KExprPtr guardWithChecks(const ResolveState &S, KExprPtr Inner,
+                                bool IsInt) {
+  KExprPtr Result = std::move(Inner);
+  for (std::size_t I = S.Checks.size(); I-- > 0;) {
+    Scalar C = IsInt ? Scalar(std::int32_t(S.ConstVals[I]))
+                     : Scalar(S.ConstVals[I]);
+    Result = kSelect({S.Checks[I]}, std::move(Result), kConst(C));
+  }
+  return Result;
+}
+
+/// Walks a view chain consuming the index stacks; returns the load
+/// expression at a Memory / Generate / ScalarExpr root.
+static KExprPtr resolveRec(const ViewPtr &V, ResolveState &S,
+                           const ResolveCallbacks &CB) {
+  switch (V->K) {
+  case View::Kind::Access:
+    S.IdxStack.push_back(V->Index);
+    return resolveRec(V->Base, S, CB);
+
+  case View::Kind::TupleAccess:
+    S.TupleStack.push_back(V->Component);
+    return resolveRec(V->Base, S, CB);
+
+  case View::Kind::Split: {
+    assert(S.IdxStack.size() >= 2 && "split view needs two applied indices");
+    AExpr Outer = S.IdxStack.back();
+    S.IdxStack.pop_back();
+    AExpr Inner = S.IdxStack.back();
+    S.IdxStack.pop_back();
+    S.IdxStack.push_back(add(mul(Outer, V->ChunkSize), Inner));
+    return resolveRec(V->Base, S, CB);
+  }
+
+  case View::Kind::Join: {
+    assert(!S.IdxStack.empty() && "join view needs an applied index");
+    AExpr K = S.IdxStack.back();
+    S.IdxStack.pop_back();
+    S.IdxStack.push_back(floorMod(K, V->InnerSize));
+    S.IdxStack.push_back(floorDiv(K, V->InnerSize));
+    return resolveRec(V->Base, S, CB);
+  }
+
+  case View::Kind::Slide: {
+    assert(S.IdxStack.size() >= 2 && "slide view needs two applied indices");
+    AExpr Window = S.IdxStack.back();
+    S.IdxStack.pop_back();
+    AExpr Offset = S.IdxStack.back();
+    S.IdxStack.pop_back();
+    S.IdxStack.push_back(add(mul(Window, V->Step), Offset));
+    return resolveRec(V->Base, S, CB);
+  }
+
+  case View::Kind::Transpose: {
+    assert(S.IdxStack.size() >= 2 &&
+           "transpose view needs two applied indices");
+    std::swap(S.IdxStack[S.IdxStack.size() - 1],
+              S.IdxStack[S.IdxStack.size() - 2]);
+    return resolveRec(V->Base, S, CB);
+  }
+
+  case View::Kind::Pad: {
+    assert(!S.IdxStack.empty() && "pad view needs an applied index");
+    AExpr I = S.IdxStack.back();
+    S.IdxStack.pop_back();
+    AExpr Shifted = sub(I, V->PadLeft);
+    if (V->Bdy.K == Boundary::Kind::Constant) {
+      S.Checks.push_back(BoundsCheck{Shifted, cst(0), V->PadInnerLen});
+      S.ConstVals.push_back(V->Bdy.ConstVal);
+      S.IdxStack.push_back(Shifted);
+    } else {
+      S.IdxStack.push_back(
+          boundaryIndexExpr(V->Bdy.K, Shifted, V->PadInnerLen));
+    }
+    return resolveRec(V->Base, S, CB);
+  }
+
+  case View::Kind::Tuple: {
+    assert(!S.TupleStack.empty() && "tuple view needs a selection");
+    int C = S.TupleStack.back();
+    S.TupleStack.pop_back();
+    assert(std::size_t(C) < V->Comps.size() && "tuple component range");
+    return resolveRec(V->Comps[std::size_t(C)], S, CB);
+  }
+
+  case View::Kind::Memory: {
+    // Linearize the pending indices (outermost on top) row-major
+    // through the buffer's logical array type.
+    AExpr Flat = cst(0);
+    TypePtr T = V->MemType;
+    while (T->getKind() == Type::Kind::Array) {
+      assert(!S.IdxStack.empty() && "not enough indices for memory view");
+      AExpr I = S.IdxStack.back();
+      S.IdxStack.pop_back();
+      Flat = add(mul(Flat, T->getSize()), I);
+      T = T->getElem();
+    }
+    assert(T->getKind() == Type::Kind::Scalar &&
+           "memory views hold scalar-element arrays");
+    assert(S.IdxStack.empty() && S.TupleStack.empty() &&
+           "leftover indices after memory resolution");
+    KExprPtr Load = kLoad(V->BufferId, Flat);
+    return guardWithChecks(S, std::move(Load),
+                           T->getScalarKind() == ScalarKind::Int);
+  }
+
+  case View::Kind::Generate: {
+    assert(S.IdxStack.size() == V->GenSizes.size() &&
+           "generate view arity mismatch");
+    assert(CB.InlineGenerate && "generate view needs an inliner");
+    // Pop indices outermost-first to match the generator's parameters.
+    std::vector<AExpr> Indices;
+    for (std::size_t I = 0, E = V->GenSizes.size(); I != E; ++I) {
+      Indices.push_back(S.IdxStack.back());
+      S.IdxStack.pop_back();
+    }
+    KExprPtr Val = CB.InlineGenerate(V->GenFun, Indices);
+    // A generated value under a constant pad is guarded like a load.
+    // The generator's element kind comes from its inferred body type.
+    const TypePtr &GenTy = V->GenFun->getType();
+    bool IsInt = GenTy && GenTy->getKind() == Type::Kind::Scalar &&
+                 GenTy->getScalarKind() == ScalarKind::Int;
+    return guardWithChecks(S, std::move(Val), IsInt);
+  }
+
+  case View::Kind::ScalarExpr:
+    assert(S.IdxStack.empty() && S.TupleStack.empty() &&
+           "scalar view with leftover indices");
+    assert(S.Checks.empty() && "scalar view under constant pad");
+    return V->ScalarVal;
+
+  case View::Kind::MapLazy: {
+    assert(!S.IdxStack.empty() && "map view needs an applied index");
+    if (!CB.ExpandMap)
+      fatalError("layout-only map reached store resolution");
+    AExpr I = S.IdxStack.back();
+    S.IdxStack.pop_back();
+    ViewPtr Expanded = CB.ExpandMap(V->MapFun, vAccess(I, V->Base));
+    return resolveRec(Expanded, S, CB);
+  }
+
+  case View::Kind::MapLazyFn: {
+    assert(!S.IdxStack.empty() && "map view needs an applied index");
+    AExpr I = S.IdxStack.back();
+    S.IdxStack.pop_back();
+    ViewPtr Expanded = V->MapViewFn(vAccess(I, V->Base));
+    return resolveRec(Expanded, S, CB);
+  }
+  }
+  unreachable("covered switch");
+}
+
+KExprPtr lift::codegen::resolveLoad(const ViewPtr &V,
+                                    const ResolveCallbacks &CB) {
+  ResolveState S;
+  return resolveRec(V, S, CB);
+}
+
+StoreTarget lift::codegen::resolveStore(const ViewPtr &V,
+                                        const ResolveCallbacks &CB) {
+  ResolveState S;
+  KExprPtr E = resolveRec(V, S, CB);
+  if (E->K != KExpr::Kind::Load)
+    fatalError("output view did not resolve to a plain memory location");
+  return StoreTarget{E->BufferId, E->Index};
+}

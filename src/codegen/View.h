@@ -1,0 +1,144 @@
+//===- View.h - Lift views: data layout as index arithmetic ----*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Views implement the paper's key compilation idea (§5): the
+/// data-layout primitives `split`, `join`, `slide`, `pad`, `transpose`,
+/// `zip`, `at` and `get` perform no data movement. Each is a View node
+/// that transforms *index expressions*; when the generated code finally
+/// reads (or writes) a scalar, the view chain is folded into a single
+/// flat ArithExpr index into the underlying buffer:
+///
+///   "Slide guides accesses to elements in a neighborhood to the
+///    original array, so that accesses to the same element in different
+///    neighborhoods result in memory accesses from the same physical
+///    location."
+///
+/// The same machinery resolves output positions: the inverse transforms
+/// of `join`/`split`/`transpose` appear on the output path (e.g. the
+/// overlapped-tiling rule wraps the producer in `join`), so a store
+/// through Split(m)[w][l] lands at w*m+l.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_CODEGEN_VIEW_H
+#define LIFT_CODEGEN_VIEW_H
+
+#include "ir/Expr.h"
+#include "ocl/KernelAst.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace lift {
+namespace codegen {
+
+class View;
+using ViewPtr = std::shared_ptr<const View>;
+
+/// A node in a view chain. Chains are built outside-in: the node
+/// holding the most recently applied operation wraps (points to) its
+/// base view, terminating in Memory / Generate / ScalarExpr roots.
+class View {
+public:
+  enum class Kind {
+    Memory,      ///< a buffer holding an array of the recorded type
+    Tuple,       ///< zip: component array views, selected by TupleAccess
+    Split,       ///< [i][j] -> base[i*m + j]
+    Join,        ///< [k] -> base[k / m][k % m]
+    Slide,       ///< [w][j] -> base[w*step + j]
+    Pad,         ///< [i] -> base[h(i - l, n)] or bounds-checked constant
+    Transpose,   ///< [i][j] -> base[j][i]
+    Access,      ///< an applied array index
+    TupleAccess, ///< an applied tuple component selection
+    Generate,    ///< array materialized on the fly from an index function
+    ScalarExpr,  ///< a scalar kernel expression (register, literal, ...)
+    MapLazy,     ///< a layout-only map, beta-reduced during resolution
+    MapLazyFn,   ///< like MapLazy, but the element transform is a C++
+                 ///< view function (used for inverted output layouts)
+  };
+
+  Kind K;
+  ViewPtr Base;                  ///< all but Memory/Generate/ScalarExpr/Tuple
+  std::vector<ViewPtr> Comps;    ///< Tuple
+  int BufferId = -1;             ///< Memory
+  ir::TypePtr MemType;           ///< Memory: logical array type (row-major)
+  AExpr ChunkSize;               ///< Split m
+  AExpr InnerSize;               ///< Join m
+  AExpr Size, Step;              ///< Slide
+  AExpr PadLeft, PadInnerLen;    ///< Pad: l and the unpadded length n
+  ir::Boundary Bdy;              ///< Pad
+  AExpr Index;                   ///< Access
+  int Component = 0;             ///< TupleAccess
+  ir::LambdaPtr GenFun;          ///< Generate
+  std::vector<AExpr> GenSizes;   ///< Generate
+  ocl::KExprPtr ScalarVal;       ///< ScalarExpr
+  ir::LambdaPtr MapFun;          ///< MapLazy
+  std::function<ViewPtr(const ViewPtr &)> MapViewFn; ///< MapLazyFn
+};
+
+ViewPtr vMemory(int BufferId, ir::TypePtr MemType);
+ViewPtr vTuple(std::vector<ViewPtr> Comps);
+ViewPtr vSplit(AExpr ChunkSize, ViewPtr Base);
+ViewPtr vJoin(AExpr InnerSize, ViewPtr Base);
+ViewPtr vSlide(AExpr Size, AExpr Step, ViewPtr Base);
+ViewPtr vPad(AExpr PadLeft, AExpr PadInnerLen, ir::Boundary B, ViewPtr Base);
+ViewPtr vTranspose(ViewPtr Base);
+ViewPtr vAccess(AExpr Index, ViewPtr Base);
+ViewPtr vTupleAccess(int Component, ViewPtr Base);
+ViewPtr vGenerate(ir::LambdaPtr GenFun, std::vector<AExpr> GenSizes);
+ViewPtr vScalar(ocl::KExprPtr Val);
+/// A high-level map whose body contains only layout operations, e.g.
+/// the map(slide)/map(transpose) compositions inside slideNd (paper
+/// §3.4). It is expanded lazily during resolution: accessing element i
+/// beta-reduces the lambda with its parameter viewing Base[i].
+ViewPtr vMapLazy(ir::LambdaPtr MapFun, ViewPtr Base);
+
+/// Like vMapLazy with a C++ element-view transformer instead of an IR
+/// lambda. The code generator uses this to push *inverted* element
+/// layouts (split/join/transpose) onto output views, so reshaping maps
+/// around a producer (e.g. untileNd after the tiling rule) cost nothing.
+ViewPtr vMapLazyFn(std::function<ViewPtr(const ViewPtr &)> Fn, ViewPtr Base);
+
+/// Inlines a Generate lambda at concrete symbolic indices, producing
+/// the scalar kernel expression of the generated element. Provided by
+/// the code generator (it owns scalar expression generation).
+using GenerateInliner = std::function<ocl::KExprPtr(
+    const ir::LambdaPtr &, const std::vector<AExpr> &)>;
+
+/// Builds the view of a MapLazy body with the map parameter bound to
+/// the given element view. Provided by the code generator (it owns the
+/// view environment).
+using MapExpander =
+    std::function<ViewPtr(const ir::LambdaPtr &, const ViewPtr &)>;
+
+/// Callbacks the resolver needs for views that reference IR lambdas.
+struct ResolveCallbacks {
+  GenerateInliner InlineGenerate;
+  MapExpander ExpandMap;
+};
+
+/// Folds a fully-applied (scalar) view chain into a load expression:
+/// a single buffer access with a flat index, possibly wrapped in a
+/// bounds-checked Select for constant padding, or an inlined Generate /
+/// scalar expression.
+ocl::KExprPtr resolveLoad(const ViewPtr &V, const ResolveCallbacks &CB);
+
+/// Folds a fully-applied (scalar) view chain into a store target.
+/// Output views contain no pads/generates; violations are fatal.
+struct StoreTarget {
+  int BufferId;
+  AExpr Index;
+};
+StoreTarget resolveStore(const ViewPtr &V,
+                         const ResolveCallbacks &CB = ResolveCallbacks());
+
+} // namespace codegen
+} // namespace lift
+
+#endif // LIFT_CODEGEN_VIEW_H

@@ -1,0 +1,305 @@
+//===- Interpreter.cpp - Reference semantics for the Lift IR ---------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "ir/TypeInference.h"
+#include "support/Support.h"
+
+#include <cassert>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::interp;
+
+namespace {
+
+class Evaluator {
+public:
+  Evaluator(const SizeEnv &Sizes) : Sizes(Sizes) {}
+
+  Value eval(const ExprPtr &E) {
+    switch (E->getKind()) {
+    case Expr::Kind::Literal:
+      return Value::scalar(dynCast<LiteralExpr>(E)->getValue());
+    case Expr::Kind::Param: {
+      auto It = Env.find(static_cast<const ParamExpr *>(E.get()));
+      if (It == Env.end())
+        fatalError("interpreter: unbound parameter " +
+                   dynCast<ParamExpr>(E)->getName());
+      return It->second;
+    }
+    case Expr::Kind::Lambda:
+      fatalError("interpreter: lambda outside function position");
+    case Expr::Kind::Call:
+      return evalCall(*dynCast<CallExpr>(E));
+    }
+    unreachable("covered switch");
+  }
+
+  void bind(const ParamExpr *P, Value V) { Env[P] = std::move(V); }
+
+private:
+  const SizeEnv &Sizes;
+  std::unordered_map<const ParamExpr *, Value> Env;
+
+  std::int64_t evalSize(const AExpr &A) { return A->evaluate(Sizes); }
+
+  Value applyLambda(const LambdaPtr &L, std::vector<Value> Args) {
+    assert(L->getParams().size() == Args.size() && "lambda arity");
+    // Save and restore bindings so recursion through nested lambdas with
+    // shadowed parameters stays correct.
+    std::vector<std::pair<const ParamExpr *, std::optional<Value>>> Saved;
+    for (std::size_t I = 0, E = Args.size(); I != E; ++I) {
+      const ParamExpr *P = L->getParams()[I].get();
+      auto It = Env.find(P);
+      Saved.emplace_back(P, It == Env.end()
+                                ? std::optional<Value>()
+                                : std::optional<Value>(It->second));
+      Env[P] = std::move(Args[I]);
+    }
+    Value Result = eval(L->getBody());
+    for (auto &[P, Old] : Saved) {
+      if (Old)
+        Env[P] = std::move(*Old);
+      else
+        Env.erase(P);
+    }
+    return Result;
+  }
+
+  static LambdaPtr lambdaArg(const CallExpr &C, std::size_t I) {
+    return std::static_pointer_cast<LambdaExpr>(C.getArgs()[I]);
+  }
+
+  Value evalCall(const CallExpr &C) {
+    switch (C.getPrim()) {
+    case Prim::UserFunCall: {
+      std::vector<Scalar> Args;
+      Args.reserve(C.getArgs().size());
+      for (const ExprPtr &A : C.getArgs())
+        Args.push_back(eval(A).getScalar());
+      return Value::scalar(C.UF->evaluate(Args));
+    }
+
+    case Prim::Map:
+    case Prim::MapGlb:
+    case Prim::MapWrg:
+    case Prim::MapLcl:
+    case Prim::MapSeq: {
+      LambdaPtr F = lambdaArg(C, 0);
+      Value In = eval(C.getArgs()[1]);
+      std::vector<Value> Out;
+      Out.reserve(In.size());
+      for (const Value &E : In.getElems())
+        Out.push_back(applyLambda(F, {E}));
+      return Value::array(std::move(Out));
+    }
+
+    case Prim::Reduce:
+    case Prim::ReduceSeq:
+    case Prim::ReduceSeqUnroll: {
+      LambdaPtr F = lambdaArg(C, 0);
+      Value Acc = eval(C.getArgs()[1]);
+      Value In = eval(C.getArgs()[2]);
+      for (const Value &E : In.getElems())
+        Acc = applyLambda(F, {Acc, E});
+      return Value::array({Acc});
+    }
+
+    case Prim::Iterate: {
+      LambdaPtr F = lambdaArg(C, 0);
+      Value V = eval(C.getArgs()[1]);
+      for (int I = 0; I != C.IterCount; ++I)
+        V = applyLambda(F, {V});
+      return V;
+    }
+
+    case Prim::Zip: {
+      std::vector<Value> Ins;
+      Ins.reserve(C.getArgs().size());
+      for (const ExprPtr &A : C.getArgs())
+        Ins.push_back(eval(A));
+      std::size_t N = Ins.front().size();
+      for ([[maybe_unused]] const Value &In : Ins)
+        assert(In.size() == N && "zip length mismatch at runtime");
+      std::vector<Value> Out;
+      Out.reserve(N);
+      for (std::size_t I = 0; I != N; ++I) {
+        std::vector<Value> Comps;
+        Comps.reserve(Ins.size());
+        for (const Value &In : Ins)
+          Comps.push_back(In[I]);
+        Out.push_back(Value::tuple(std::move(Comps)));
+      }
+      return Value::array(std::move(Out));
+    }
+
+    case Prim::Split: {
+      Value In = eval(C.getArgs()[0]);
+      std::int64_t M = evalSize(C.Factor);
+      assert(M > 0 && std::int64_t(In.size()) % M == 0 &&
+             "split factor must evenly divide the array length");
+      std::vector<Value> Out;
+      Out.reserve(In.size() / M);
+      for (std::size_t I = 0; I < In.size(); I += M) {
+        std::vector<Value> Chunk(In.getElems().begin() + I,
+                                 In.getElems().begin() + I + M);
+        Out.push_back(Value::array(std::move(Chunk)));
+      }
+      return Value::array(std::move(Out));
+    }
+
+    case Prim::Join: {
+      Value In = eval(C.getArgs()[0]);
+      std::vector<Value> Out;
+      for (const Value &Inner : In.getElems())
+        for (const Value &E : Inner.getElems())
+          Out.push_back(E);
+      return Value::array(std::move(Out));
+    }
+
+    case Prim::Transpose: {
+      Value In = eval(C.getArgs()[0]);
+      std::size_t N = In.size();
+      assert(N > 0 && "transpose of empty array");
+      std::size_t M = In[0].size();
+      std::vector<Value> Out;
+      Out.reserve(M);
+      for (std::size_t J = 0; J != M; ++J) {
+        std::vector<Value> Row;
+        Row.reserve(N);
+        for (std::size_t I = 0; I != N; ++I)
+          Row.push_back(In[I][J]);
+        Out.push_back(Value::array(std::move(Row)));
+      }
+      return Value::array(std::move(Out));
+    }
+
+    case Prim::Slide: {
+      Value In = eval(C.getArgs()[0]);
+      std::int64_t Size = evalSize(C.Size);
+      std::int64_t Step = evalSize(C.Step);
+      assert(Size > 0 && Step > 0 && "slide parameters must be positive");
+      std::int64_t N = std::int64_t(In.size());
+      std::int64_t Count = floorDivInt(N - Size + Step, Step);
+      assert(Count >= 0 && "slide window larger than array");
+      std::vector<Value> Out;
+      Out.reserve(std::size_t(Count));
+      for (std::int64_t W = 0; W != Count; ++W) {
+        std::vector<Value> Window;
+        Window.reserve(std::size_t(Size));
+        for (std::int64_t J = 0; J != Size; ++J)
+          Window.push_back(In[std::size_t(W * Step + J)]);
+        Out.push_back(Value::array(std::move(Window)));
+      }
+      return Value::array(std::move(Out));
+    }
+
+    case Prim::Pad: {
+      Value In = eval(C.getArgs()[0]);
+      std::int64_t L = evalSize(C.PadL);
+      std::int64_t R = evalSize(C.PadR);
+      assert(L >= 0 && R >= 0 && "pad amounts must be non-negative");
+      std::int64_t N = std::int64_t(In.size());
+      std::vector<Value> Out;
+      Out.reserve(std::size_t(L + N + R));
+      for (std::int64_t I = -L; I != N + R; ++I) {
+        if (I >= 0 && I < N) {
+          Out.push_back(In[std::size_t(I)]);
+          continue;
+        }
+        if (C.Bdy.K == Boundary::Kind::Constant) {
+          // Fill a whole element (possibly a nested array) with the
+          // constant, using the first real element as the shape proto.
+          assert(N > 0 && "constant pad of empty array");
+          Out.push_back(fillLike(In[0], C.Bdy.ConstVal));
+          continue;
+        }
+        Out.push_back(In[std::size_t(resolveBoundaryIndex(C.Bdy.K, I, N))]);
+      }
+      return Value::array(std::move(Out));
+    }
+
+    case Prim::At: {
+      Value In = eval(C.getArgs()[0]);
+      assert(std::size_t(C.Index) < In.size() && "at index out of bounds");
+      return In[std::size_t(C.Index)];
+    }
+
+    case Prim::Get: {
+      Value In = eval(C.getArgs()[0]);
+      assert(In.isTuple() && "get on non-tuple");
+      return In[std::size_t(C.Index)];
+    }
+
+    case Prim::SizeVal:
+      return Value::scalar(Scalar(std::int32_t(evalSize(C.Size))));
+
+    case Prim::Generate: {
+      LambdaPtr F = lambdaArg(C, 0);
+      std::vector<std::int64_t> Dims;
+      for (const AExpr &S : C.GenSizes)
+        Dims.push_back(evalSize(S));
+      return generateDim(F, Dims, 0, {});
+    }
+    }
+    unreachable("covered switch");
+  }
+
+  /// Recursively builds the nested array produced by Generate.
+  Value generateDim(const LambdaPtr &F, const std::vector<std::int64_t> &Dims,
+                    std::size_t Depth, std::vector<Value> Indices) {
+    if (Depth == Dims.size())
+      return applyLambda(F, Indices);
+    std::vector<Value> Out;
+    Out.reserve(std::size_t(Dims[Depth]));
+    for (std::int64_t I = 0; I != Dims[Depth]; ++I) {
+      std::vector<Value> Next = Indices;
+      Next.push_back(Value::scalar(Scalar(std::int32_t(I))));
+      Out.push_back(generateDim(F, Dims, Depth + 1, std::move(Next)));
+    }
+    return Value::array(std::move(Out));
+  }
+
+  /// A value shaped like \p Proto with every scalar replaced by \p C.
+  static Value fillLike(const Value &Proto, float C) {
+    switch (Proto.getKind()) {
+    case Value::Kind::Scalar: {
+      Scalar S = Proto.getScalar();
+      if (S.K == ScalarKind::Float)
+        return Value::scalar(Scalar(C));
+      return Value::scalar(Scalar(std::int32_t(C)));
+    }
+    case Value::Kind::Array:
+    case Value::Kind::Tuple: {
+      std::vector<Value> Elems;
+      Elems.reserve(Proto.getElems().size());
+      for (const Value &E : Proto.getElems())
+        Elems.push_back(fillLike(E, C));
+      return Proto.getKind() == Value::Kind::Array
+                 ? Value::array(std::move(Elems))
+                 : Value::tuple(std::move(Elems));
+    }
+    }
+    unreachable("covered switch");
+  }
+};
+
+} // namespace
+
+Value lift::interp::evalProgram(const Program &P,
+                                const std::vector<Value> &Inputs,
+                                const SizeEnv &Sizes) {
+  if (!P->getType())
+    inferTypes(P);
+  if (Inputs.size() != P->getParams().size())
+    fatalError("evalProgram: input count mismatch");
+  Evaluator Ev(Sizes);
+  for (std::size_t I = 0, E = Inputs.size(); I != E; ++I)
+    Ev.bind(P->getParams()[I].get(), Inputs[I]);
+  return Ev.eval(P->getBody());
+}

@@ -1,0 +1,42 @@
+//===- Interpreter.h - Reference semantics for the Lift IR -----*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct, high-level interpreter giving the Lift IR its executable
+/// semantics. This is the correctness oracle of the whole system:
+/// rewrite rules are property-tested by interpreting both sides, and the
+/// OpenCL code generator + NDRange simulator are validated against it.
+/// It materializes every intermediate value, so it is only meant for
+/// small grids — performance comes from the compiled path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_INTERP_INTERPRETER_H
+#define LIFT_INTERP_INTERPRETER_H
+
+#include "interp/Value.h"
+#include "ir/Expr.h"
+
+#include <unordered_map>
+
+namespace lift {
+namespace interp {
+
+/// Concrete bindings for the size variables of a program, keyed by
+/// ArithExpr variable id.
+using SizeEnv = std::unordered_map<unsigned, std::int64_t>;
+
+/// Evaluates program \p P on \p Inputs (one value per program
+/// parameter). \p Sizes binds every size variable appearing in the
+/// input types. Runs type inference if \p P has no types yet.
+Value evalProgram(const ir::Program &P, const std::vector<Value> &Inputs,
+                  const SizeEnv &Sizes);
+
+} // namespace interp
+} // namespace lift
+
+#endif // LIFT_INTERP_INTERPRETER_H

@@ -1,0 +1,129 @@
+//===- Value.cpp - Runtime values for the interpreter ----------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Value.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+
+using namespace lift;
+using namespace lift::interp;
+
+ir::Scalar Value::getScalar() const {
+  assert(K == Kind::Scalar && "getScalar on non-scalar value");
+  return S;
+}
+
+const std::vector<Value> &Value::getElems() const {
+  assert(K != Kind::Scalar && "getElems on scalar value");
+  return Elems;
+}
+
+const Value &Value::operator[](std::size_t I) const {
+  assert(K != Kind::Scalar && I < Elems.size() && "value index out of range");
+  return Elems[I];
+}
+
+std::string Value::toString() const {
+  switch (K) {
+  case Kind::Scalar:
+    return S.K == ir::ScalarKind::Float ? std::to_string(S.F)
+                                        : std::to_string(S.I);
+  case Kind::Array:
+  case Kind::Tuple: {
+    std::string Str = K == Kind::Array ? "[" : "{";
+    for (std::size_t I = 0, E = Elems.size(); I != E; ++I) {
+      if (I != 0)
+        Str += ", ";
+      Str += Elems[I].toString();
+    }
+    return Str + (K == Kind::Array ? "]" : "}");
+  }
+  }
+  unreachable("covered switch");
+}
+
+Value lift::interp::makeFloatArray(const std::vector<float> &Data) {
+  std::vector<Value> Elems;
+  Elems.reserve(Data.size());
+  for (float F : Data)
+    Elems.push_back(Value::scalar(ir::Scalar(F)));
+  return Value::array(std::move(Elems));
+}
+
+Value lift::interp::makeFloatArray2D(const std::vector<float> &Data,
+                                     std::size_t Rows, std::size_t Cols) {
+  assert(Data.size() == Rows * Cols && "2D array shape mismatch");
+  std::vector<Value> RowVals;
+  RowVals.reserve(Rows);
+  for (std::size_t R = 0; R != Rows; ++R) {
+    std::vector<Value> RowElems;
+    RowElems.reserve(Cols);
+    for (std::size_t C = 0; C != Cols; ++C)
+      RowElems.push_back(Value::scalar(ir::Scalar(Data[R * Cols + C])));
+    RowVals.push_back(Value::array(std::move(RowElems)));
+  }
+  return Value::array(std::move(RowVals));
+}
+
+Value lift::interp::makeFloatArray3D(const std::vector<float> &Data,
+                                     std::size_t D0, std::size_t D1,
+                                     std::size_t D2) {
+  assert(Data.size() == D0 * D1 * D2 && "3D array shape mismatch");
+  std::vector<Value> Outer;
+  Outer.reserve(D0);
+  for (std::size_t I = 0; I != D0; ++I) {
+    std::vector<Value> Mid;
+    Mid.reserve(D1);
+    for (std::size_t J = 0; J != D1; ++J) {
+      std::vector<Value> Inner;
+      Inner.reserve(D2);
+      for (std::size_t L = 0; L != D2; ++L)
+        Inner.push_back(
+            Value::scalar(ir::Scalar(Data[(I * D1 + J) * D2 + L])));
+      Mid.push_back(Value::array(std::move(Inner)));
+    }
+    Outer.push_back(Value::array(std::move(Mid)));
+  }
+  return Value::array(std::move(Outer));
+}
+
+void lift::interp::flattenValue(const Value &V, std::vector<float> &Out) {
+  if (V.isScalar()) {
+    Out.push_back(V.getScalar().asFloat());
+    return;
+  }
+  for (const Value &E : V.getElems())
+    flattenValue(E, Out);
+}
+
+Value lift::interp::filledValue(
+    const ir::TypePtr &T,
+    const std::unordered_map<unsigned, std::int64_t> &SizeEnv,
+    ir::Scalar Fill) {
+  switch (T->getKind()) {
+  case ir::Type::Kind::Scalar: {
+    if (T->getScalarKind() == ir::ScalarKind::Float)
+      return Value::scalar(ir::Scalar(Fill.asFloat()));
+    return Value::scalar(ir::Scalar(Fill.asInt()));
+  }
+  case ir::Type::Kind::Array: {
+    std::int64_t N = T->getSize()->evaluate(SizeEnv);
+    assert(N >= 0 && "negative array size");
+    std::vector<Value> Elems(
+        std::size_t(N), filledValue(T->getElem(), SizeEnv, Fill));
+    return Value::array(std::move(Elems));
+  }
+  case ir::Type::Kind::Tuple: {
+    std::vector<Value> Comps;
+    for (const ir::TypePtr &C : T->getComponents())
+      Comps.push_back(filledValue(C, SizeEnv, Fill));
+    return Value::tuple(std::move(Comps));
+  }
+  }
+  unreachable("covered switch");
+}

@@ -1,0 +1,99 @@
+//===- Value.h - Runtime values for the interpreter ------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values for the high-level interpreter: scalars, nested
+/// arrays and tuples, mirroring the Lift type system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_INTERP_VALUE_H
+#define LIFT_INTERP_VALUE_H
+
+#include "ir/Types.h"
+#include "ir/UserFun.h"
+
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace interp {
+
+/// A runtime value: scalar, array of values, or tuple of values.
+class Value {
+public:
+  enum class Kind { Scalar, Array, Tuple };
+
+  Value() : K(Kind::Scalar) {}
+
+  static Value scalar(ir::Scalar S) {
+    Value V;
+    V.K = Kind::Scalar;
+    V.S = S;
+    return V;
+  }
+
+  static Value array(std::vector<Value> Elems) {
+    Value V;
+    V.K = Kind::Array;
+    V.Elems = std::move(Elems);
+    return V;
+  }
+
+  static Value tuple(std::vector<Value> Comps) {
+    Value V;
+    V.K = Kind::Tuple;
+    V.Elems = std::move(Comps);
+    return V;
+  }
+
+  Kind getKind() const { return K; }
+  bool isScalar() const { return K == Kind::Scalar; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isTuple() const { return K == Kind::Tuple; }
+
+  ir::Scalar getScalar() const;
+  const std::vector<Value> &getElems() const;
+  std::size_t size() const { return getElems().size(); }
+  const Value &operator[](std::size_t I) const;
+
+  /// Renders e.g. "[1, 2, {3, 4}]" for debugging and test diagnostics.
+  std::string toString() const;
+
+private:
+  Kind K;
+  ir::Scalar S;
+  std::vector<Value> Elems;
+};
+
+/// Builds a 1D float array value.
+Value makeFloatArray(const std::vector<float> &Data);
+
+/// Builds a 2D float array value with \p Rows rows of \p Cols columns,
+/// read row-major from \p Data.
+Value makeFloatArray2D(const std::vector<float> &Data, std::size_t Rows,
+                       std::size_t Cols);
+
+/// Builds a 3D float array value (outermost dimension first), read from
+/// \p Data in row-major order.
+Value makeFloatArray3D(const std::vector<float> &Data, std::size_t D0,
+                       std::size_t D1, std::size_t D2);
+
+/// Appends all scalars of \p V in row-major order to \p Out (floats as
+/// stored, ints converted to float).
+void flattenValue(const Value &V, std::vector<float> &Out);
+
+/// Builds a value of array/scalar type \p T (sizes evaluated with
+/// \p SizeEnv) where every scalar equals \p Fill.
+Value filledValue(const ir::TypePtr &T,
+                  const std::unordered_map<unsigned, std::int64_t> &SizeEnv,
+                  ir::Scalar Fill);
+
+} // namespace interp
+} // namespace lift
+
+#endif // LIFT_INTERP_VALUE_H

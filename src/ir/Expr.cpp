@@ -1,0 +1,546 @@
+//===- Expr.cpp - Lift IR expressions ---------------------------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Expr.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+
+using namespace lift;
+using namespace lift::ir;
+
+Expr::~Expr() = default;
+
+const char *lift::ir::primName(Prim P) {
+  switch (P) {
+  case Prim::UserFunCall:
+    return "userFun";
+  case Prim::Map:
+    return "map";
+  case Prim::Reduce:
+    return "reduce";
+  case Prim::Iterate:
+    return "iterate";
+  case Prim::Zip:
+    return "zip";
+  case Prim::Split:
+    return "split";
+  case Prim::Join:
+    return "join";
+  case Prim::Transpose:
+    return "transpose";
+  case Prim::At:
+    return "at";
+  case Prim::Get:
+    return "get";
+  case Prim::Generate:
+    return "generate";
+  case Prim::SizeVal:
+    return "sizeVal";
+  case Prim::Slide:
+    return "slide";
+  case Prim::Pad:
+    return "pad";
+  case Prim::MapGlb:
+    return "mapGlb";
+  case Prim::MapWrg:
+    return "mapWrg";
+  case Prim::MapLcl:
+    return "mapLcl";
+  case Prim::MapSeq:
+    return "mapSeq";
+  case Prim::ReduceSeq:
+    return "reduceSeq";
+  case Prim::ReduceSeqUnroll:
+    return "reduceSeqUnroll";
+  }
+  unreachable("covered switch");
+}
+
+bool lift::ir::isMapPrim(Prim P) {
+  switch (P) {
+  case Prim::Map:
+  case Prim::MapGlb:
+  case Prim::MapWrg:
+  case Prim::MapLcl:
+  case Prim::MapSeq:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool lift::ir::isReducePrim(Prim P) {
+  return P == Prim::Reduce || P == Prim::ReduceSeq ||
+         P == Prim::ReduceSeqUnroll;
+}
+
+const char *Boundary::name() const {
+  switch (K) {
+  case Kind::Clamp:
+    return "clamp";
+  case Kind::Mirror:
+    return "mirror";
+  case Kind::Wrap:
+    return "wrap";
+  case Kind::Constant:
+    return "constant";
+  }
+  unreachable("covered switch");
+}
+
+std::int64_t lift::ir::resolveBoundaryIndex(Boundary::Kind K, std::int64_t I,
+                                            std::int64_t N) {
+  assert(N > 0 && "boundary resolution needs a non-empty array");
+  switch (K) {
+  case Boundary::Kind::Clamp:
+    return std::max<std::int64_t>(0, std::min(I, N - 1));
+  case Boundary::Kind::Mirror: {
+    // Symmetric reflection with edge duplication: -1 -> 0, n -> n-1.
+    std::int64_t J = floorModInt(I, 2 * N);
+    return std::min(J, 2 * N - 1 - J);
+  }
+  case Boundary::Kind::Wrap:
+    return floorModInt(I, N);
+  case Boundary::Kind::Constant:
+    break;
+  }
+  unreachable("constant boundary does not reindex");
+}
+
+//===----------------------------------------------------------------------===//
+// Builders
+//===----------------------------------------------------------------------===//
+
+ExprPtr lift::ir::lit(float V) {
+  return std::make_shared<LiteralExpr>(Scalar(V));
+}
+
+ExprPtr lift::ir::litInt(std::int32_t V) {
+  return std::make_shared<LiteralExpr>(Scalar(V));
+}
+
+ParamPtr lift::ir::param(std::string Name, TypePtr DeclaredTy) {
+  return std::make_shared<ParamExpr>(std::move(Name), std::move(DeclaredTy));
+}
+
+LambdaPtr lift::ir::lambda(std::vector<ParamPtr> Params, ExprPtr Body,
+                           AddrSpace Space) {
+  assert(Body && "lambda requires a body");
+  return std::make_shared<LambdaExpr>(std::move(Params), std::move(Body),
+                                      Space);
+}
+
+LambdaPtr lift::ir::lam(const std::string &ParamName,
+                        const std::function<ExprPtr(ExprPtr)> &BuildBody) {
+  ParamPtr P = param(ParamName);
+  ExprPtr Body = BuildBody(P);
+  return lambda({P}, std::move(Body));
+}
+
+LambdaPtr
+lift::ir::lam2(const std::string &P0, const std::string &P1,
+               const std::function<ExprPtr(ExprPtr, ExprPtr)> &BuildBody) {
+  ParamPtr A = param(P0);
+  ParamPtr B = param(P1);
+  ExprPtr Body = BuildBody(A, B);
+  return lambda({A, B}, std::move(Body));
+}
+
+LambdaPtr lift::ir::etaLambda(const UserFunPtr &UF) {
+  std::vector<ParamPtr> Params;
+  std::vector<ExprPtr> Args;
+  for (std::size_t I = 0, E = UF->arity(); I != E; ++I) {
+    ParamPtr P = param("x" + std::to_string(I));
+    Params.push_back(P);
+    Args.push_back(P);
+  }
+  return lambda(std::move(Params), apply(UF, std::move(Args)));
+}
+
+ExprPtr lift::ir::apply(const UserFunPtr &UF, std::vector<ExprPtr> Args) {
+  assert(UF && Args.size() == UF->arity() && "userFun arity mismatch");
+  auto C = std::make_shared<CallExpr>(Prim::UserFunCall, std::move(Args));
+  C->UF = UF;
+  return C;
+}
+
+ExprPtr lift::ir::makeMapLike(Prim P, int Dim, LambdaPtr F, ExprPtr In) {
+  assert(isMapPrim(P) && "makeMapLike requires a map primitive");
+  assert(F->getParams().size() == 1 && "map function takes one argument");
+  auto C = std::make_shared<CallExpr>(
+      P, std::vector<ExprPtr>{std::move(F), std::move(In)});
+  C->Dim = Dim;
+  return C;
+}
+
+ExprPtr lift::ir::map(LambdaPtr F, ExprPtr In) {
+  return makeMapLike(Prim::Map, 0, std::move(F), std::move(In));
+}
+
+ExprPtr lift::ir::mapGlb(int Dim, LambdaPtr F, ExprPtr In) {
+  assert(Dim >= 0 && Dim < 3 && "OpenCL has three NDRange dimensions");
+  return makeMapLike(Prim::MapGlb, Dim, std::move(F), std::move(In));
+}
+
+ExprPtr lift::ir::mapWrg(int Dim, LambdaPtr F, ExprPtr In) {
+  assert(Dim >= 0 && Dim < 3 && "OpenCL has three NDRange dimensions");
+  return makeMapLike(Prim::MapWrg, Dim, std::move(F), std::move(In));
+}
+
+ExprPtr lift::ir::mapLcl(int Dim, LambdaPtr F, ExprPtr In) {
+  assert(Dim >= 0 && Dim < 3 && "OpenCL has three NDRange dimensions");
+  return makeMapLike(Prim::MapLcl, Dim, std::move(F), std::move(In));
+}
+
+ExprPtr lift::ir::mapSeq(LambdaPtr F, ExprPtr In) {
+  return makeMapLike(Prim::MapSeq, 0, std::move(F), std::move(In));
+}
+
+ExprPtr lift::ir::makeReduceLike(Prim P, LambdaPtr F, ExprPtr Init,
+                                 ExprPtr In) {
+  assert(isReducePrim(P) && "makeReduceLike requires a reduce primitive");
+  assert(F->getParams().size() == 2 &&
+         "reduce operator takes accumulator and element");
+  return std::make_shared<CallExpr>(
+      P, std::vector<ExprPtr>{std::move(F), std::move(Init), std::move(In)});
+}
+
+ExprPtr lift::ir::reduce(LambdaPtr F, ExprPtr Init, ExprPtr In) {
+  return makeReduceLike(Prim::Reduce, std::move(F), std::move(Init),
+                        std::move(In));
+}
+
+ExprPtr lift::ir::reduceSeq(LambdaPtr F, ExprPtr Init, ExprPtr In) {
+  return makeReduceLike(Prim::ReduceSeq, std::move(F), std::move(Init),
+                        std::move(In));
+}
+
+ExprPtr lift::ir::reduceSeqUnroll(LambdaPtr F, ExprPtr Init, ExprPtr In) {
+  return makeReduceLike(Prim::ReduceSeqUnroll, std::move(F), std::move(Init),
+                        std::move(In));
+}
+
+ExprPtr lift::ir::iterate(int Count, LambdaPtr F, ExprPtr In) {
+  assert(Count >= 0 && "iterate count must be non-negative");
+  auto C = std::make_shared<CallExpr>(
+      Prim::Iterate, std::vector<ExprPtr>{std::move(F), std::move(In)});
+  C->IterCount = Count;
+  return C;
+}
+
+ExprPtr lift::ir::zip(std::vector<ExprPtr> Ins) {
+  assert(Ins.size() >= 2 && Ins.size() <= 4 && "zip takes 2..4 arrays");
+  return std::make_shared<CallExpr>(Prim::Zip, std::move(Ins));
+}
+
+ExprPtr lift::ir::zip(ExprPtr A, ExprPtr B) {
+  return zip(std::vector<ExprPtr>{std::move(A), std::move(B)});
+}
+
+ExprPtr lift::ir::zip3(ExprPtr A, ExprPtr B, ExprPtr C) {
+  return zip(std::vector<ExprPtr>{std::move(A), std::move(B), std::move(C)});
+}
+
+ExprPtr lift::ir::split(AExpr ChunkSize, ExprPtr In) {
+  auto C = std::make_shared<CallExpr>(Prim::Split,
+                                      std::vector<ExprPtr>{std::move(In)});
+  C->Factor = std::move(ChunkSize);
+  return C;
+}
+
+ExprPtr lift::ir::join(ExprPtr In) {
+  return std::make_shared<CallExpr>(Prim::Join,
+                                    std::vector<ExprPtr>{std::move(In)});
+}
+
+ExprPtr lift::ir::transpose(ExprPtr In) {
+  return std::make_shared<CallExpr>(Prim::Transpose,
+                                    std::vector<ExprPtr>{std::move(In)});
+}
+
+ExprPtr lift::ir::slide(AExpr Size, AExpr Step, ExprPtr In) {
+  auto C = std::make_shared<CallExpr>(Prim::Slide,
+                                      std::vector<ExprPtr>{std::move(In)});
+  C->Size = std::move(Size);
+  C->Step = std::move(Step);
+  return C;
+}
+
+ExprPtr lift::ir::pad(AExpr L, AExpr R, Boundary B, ExprPtr In) {
+  auto C = std::make_shared<CallExpr>(Prim::Pad,
+                                      std::vector<ExprPtr>{std::move(In)});
+  C->PadL = std::move(L);
+  C->PadR = std::move(R);
+  C->Bdy = B;
+  return C;
+}
+
+ExprPtr lift::ir::at(int Index, ExprPtr In) {
+  assert(Index >= 0 && "array index must be non-negative");
+  auto C = std::make_shared<CallExpr>(Prim::At,
+                                      std::vector<ExprPtr>{std::move(In)});
+  C->Index = Index;
+  return C;
+}
+
+ExprPtr lift::ir::get(int Index, ExprPtr In) {
+  assert(Index >= 0 && "tuple index must be non-negative");
+  auto C = std::make_shared<CallExpr>(Prim::Get,
+                                      std::vector<ExprPtr>{std::move(In)});
+  C->Index = Index;
+  return C;
+}
+
+ExprPtr lift::ir::sizeVal(AExpr Size) {
+  auto C = std::make_shared<CallExpr>(Prim::SizeVal, std::vector<ExprPtr>{});
+  C->Size = std::move(Size);
+  return C;
+}
+
+ExprPtr lift::ir::generate(std::vector<AExpr> Sizes, LambdaPtr F) {
+  assert(!Sizes.empty() && Sizes.size() <= 3 && "generate is 1D..3D");
+  assert(F->getParams().size() == Sizes.size() &&
+         "generator takes one index per dimension");
+  auto C = std::make_shared<CallExpr>(Prim::Generate,
+                                      std::vector<ExprPtr>{std::move(F)});
+  C->GenSizes = std::move(Sizes);
+  return C;
+}
+
+/// Rebuilds \p F with a different address space.
+static LambdaPtr withAddrSpace(const LambdaPtr &F, AddrSpace Space) {
+  return std::make_shared<LambdaExpr>(F->getParams(), F->getBody(), Space);
+}
+
+LambdaPtr lift::ir::toLocal(const LambdaPtr &F) {
+  return withAddrSpace(F, AddrSpace::Local);
+}
+
+LambdaPtr lift::ir::toGlobal(const LambdaPtr &F) {
+  return withAddrSpace(F, AddrSpace::Global);
+}
+
+LambdaPtr lift::ir::toPrivate(const LambdaPtr &F) {
+  return withAddrSpace(F, AddrSpace::Private);
+}
+
+Program lift::ir::makeProgram(std::vector<ParamPtr> Inputs, ExprPtr Body) {
+#ifndef NDEBUG
+  for (const ParamPtr &P : Inputs)
+    assert(P->getDeclaredType() && "program inputs must declare types");
+#endif
+  return lambda(std::move(Inputs), std::move(Body));
+}
+
+//===----------------------------------------------------------------------===//
+// Cloning
+//===----------------------------------------------------------------------===//
+
+namespace {
+using ParamMap = std::unordered_map<const ParamExpr *, ExprPtr>;
+} // namespace
+
+static ExprPtr cloneRec(const ExprPtr &E, ParamMap &PM) {
+  switch (E->getKind()) {
+  case Expr::Kind::Literal:
+    return std::make_shared<LiteralExpr>(
+        dynCast<LiteralExpr>(E)->getValue());
+  case Expr::Kind::Param: {
+    auto It = PM.find(static_cast<const ParamExpr *>(E.get()));
+    // Free parameters (program inputs) are shared, bound ones remapped.
+    if (It == PM.end())
+      return E;
+    return It->second;
+  }
+  case Expr::Kind::Lambda: {
+    const auto *L = dynCast<LambdaExpr>(E);
+    std::vector<ParamPtr> NewParams;
+    for (const ParamPtr &P : L->getParams()) {
+      ParamPtr NP = param(P->getName(), P->getDeclaredType());
+      PM[P.get()] = NP;
+      NewParams.push_back(std::move(NP));
+    }
+    ExprPtr NewBody = cloneRec(L->getBody(), PM);
+    return lambda(std::move(NewParams), std::move(NewBody),
+                  L->getAddrSpace());
+  }
+  case Expr::Kind::Call: {
+    const auto *C = dynCast<CallExpr>(E);
+    std::vector<ExprPtr> NewArgs;
+    NewArgs.reserve(C->getArgs().size());
+    for (const ExprPtr &A : C->getArgs())
+      NewArgs.push_back(cloneRec(A, PM));
+    auto NC = std::make_shared<CallExpr>(C->getPrim(), std::move(NewArgs));
+    NC->UF = C->UF;
+    NC->Dim = C->Dim;
+    NC->Factor = C->Factor;
+    NC->Size = C->Size;
+    NC->Step = C->Step;
+    NC->PadL = C->PadL;
+    NC->PadR = C->PadR;
+    NC->Bdy = C->Bdy;
+    NC->Index = C->Index;
+    NC->IterCount = C->IterCount;
+    NC->GenSizes = C->GenSizes;
+    return NC;
+  }
+  }
+  unreachable("covered switch");
+}
+
+ExprPtr lift::ir::deepClone(const ExprPtr &E) {
+  ParamMap PM;
+  return cloneRec(E, PM);
+}
+
+ExprPtr lift::ir::substituteParams(
+    const ExprPtr &E,
+    const std::unordered_map<const ParamExpr *, ExprPtr> &Subst) {
+  ParamMap PM(Subst.begin(), Subst.end());
+  return cloneRec(E, PM);
+}
+
+ExprPtr lift::ir::betaReduce(const LambdaPtr &F,
+                             const std::vector<ExprPtr> &Args) {
+  assert(F->getParams().size() == Args.size() && "betaReduce arity");
+  std::unordered_map<const ParamExpr *, ExprPtr> Subst;
+  for (std::size_t I = 0, E = Args.size(); I != E; ++I)
+    Subst[F->getParams()[I].get()] = Args[I];
+  return substituteParams(F->getBody(), Subst);
+}
+
+Program lift::ir::cloneProgram(const Program &P) {
+  ParamMap PM;
+  std::vector<ParamPtr> NewInputs;
+  for (const ParamPtr &In : P->getParams()) {
+    ParamPtr NP = param(In->getName(), In->getDeclaredType());
+    PM[In.get()] = NP;
+    NewInputs.push_back(std::move(NP));
+  }
+  ExprPtr NewBody = cloneRec(P->getBody(), PM);
+  return makeProgram(std::move(NewInputs), std::move(NewBody));
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+static std::string scalarToString(Scalar V) {
+  if (V.K == ScalarKind::Float) {
+    std::string S = std::to_string(V.F);
+    // Trim trailing zeros for readability; keep one decimal digit.
+    while (S.size() > 1 && S.back() == '0' &&
+           S[S.size() - 2] != '.')
+      S.pop_back();
+    return S;
+  }
+  return std::to_string(V.I);
+}
+
+static std::string printRec(const ExprPtr &E) {
+  switch (E->getKind()) {
+  case Expr::Kind::Literal:
+    return scalarToString(dynCast<LiteralExpr>(E)->getValue());
+  case Expr::Kind::Param:
+    return dynCast<ParamExpr>(E)->getName();
+  case Expr::Kind::Lambda: {
+    const auto *L = dynCast<LambdaExpr>(E);
+    std::string S = "\\";
+    for (std::size_t I = 0, N = L->getParams().size(); I != N; ++I) {
+      if (I != 0)
+        S += ", ";
+      S += L->getParams()[I]->getName();
+    }
+    S += ". " + printRec(L->getBody());
+    switch (L->getAddrSpace()) {
+    case AddrSpace::Default:
+      return S;
+    case AddrSpace::Global:
+      return "toGlobal(" + S + ")";
+    case AddrSpace::Local:
+      return "toLocal(" + S + ")";
+    case AddrSpace::Private:
+      return "toPrivate(" + S + ")";
+    }
+    unreachable("covered switch");
+  }
+  case Expr::Kind::Call: {
+    const auto *C = dynCast<CallExpr>(E);
+    std::string S;
+    if (C->getPrim() == Prim::UserFunCall)
+      S = C->UF->getName() + "(";
+    else
+      S = std::string(primName(C->getPrim())) + "(";
+    std::string Payload;
+    switch (C->getPrim()) {
+    case Prim::MapGlb:
+    case Prim::MapWrg:
+    case Prim::MapLcl:
+      Payload = std::to_string(C->Dim);
+      break;
+    case Prim::Split:
+      Payload = C->Factor->toString();
+      break;
+    case Prim::Slide:
+      Payload = C->Size->toString() + ", " + C->Step->toString();
+      break;
+    case Prim::Pad:
+      Payload = C->PadL->toString() + ", " + C->PadR->toString() + ", " +
+                C->Bdy.name();
+      break;
+    case Prim::At:
+    case Prim::Get:
+      Payload = std::to_string(C->Index);
+      break;
+    case Prim::Iterate:
+      Payload = std::to_string(C->IterCount);
+      break;
+    case Prim::Generate: {
+      for (std::size_t I = 0, N = C->GenSizes.size(); I != N; ++I) {
+        if (I != 0)
+          Payload += ", ";
+        Payload += C->GenSizes[I]->toString();
+      }
+      break;
+    }
+    case Prim::SizeVal:
+      Payload = C->Size->toString();
+      break;
+    default:
+      break;
+    }
+    bool NeedComma = false;
+    if (!Payload.empty()) {
+      S += Payload;
+      NeedComma = true;
+    }
+    for (const ExprPtr &A : C->getArgs()) {
+      if (NeedComma)
+        S += ", ";
+      S += printRec(A);
+      NeedComma = true;
+    }
+    return S + ")";
+  }
+  }
+  unreachable("covered switch");
+}
+
+std::string lift::ir::toString(const ExprPtr &E) { return printRec(E); }
+
+std::string lift::ir::toString(const Program &P) {
+  std::string S = "fun(";
+  for (std::size_t I = 0, N = P->getParams().size(); I != N; ++I) {
+    if (I != 0)
+      S += ", ";
+    S += P->getParams()[I]->getName();
+    if (const TypePtr &T = P->getParams()[I]->getDeclaredType())
+      S += ": " + T->toString();
+  }
+  return S + " => " + printRec(P->getBody()) + ")";
+}

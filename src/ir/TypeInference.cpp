@@ -1,0 +1,236 @@
+//===- TypeInference.cpp - Lift IR type inference ---------------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/TypeInference.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace lift;
+using namespace lift::ir;
+
+namespace {
+
+/// Recursive type checker. Parameter types are assigned at binding
+/// sites (program entry or higher-order call sites) and looked up by
+/// node identity.
+class Inferer {
+public:
+  TypePtr inferProgram(const Program &P) {
+    for (const ParamPtr &In : P->getParams()) {
+      In->setType(In->getDeclaredType());
+      Env[In.get()] = In->getDeclaredType();
+    }
+    TypePtr T = infer(P->getBody());
+    P->setType(T);
+    return T;
+  }
+
+private:
+  std::unordered_map<const ParamExpr *, TypePtr> Env;
+
+  [[noreturn]] void typeError(const std::string &Msg, const ExprPtr &E) {
+    fatalError("type error: " + Msg + " in: " + toString(E));
+  }
+
+  /// Binds \p L's parameters to \p ArgTypes and infers the body type.
+  TypePtr inferLambda(const LambdaPtr &L, const std::vector<TypePtr> &ArgTypes,
+                      const ExprPtr &Context) {
+    if (L->getParams().size() != ArgTypes.size())
+      typeError("lambda arity mismatch", Context);
+    for (std::size_t I = 0, E = ArgTypes.size(); I != E; ++I) {
+      L->getParams()[I]->setType(ArgTypes[I]);
+      Env[L->getParams()[I].get()] = ArgTypes[I];
+    }
+    TypePtr T = infer(L->getBody());
+    L->setType(T);
+    return T;
+  }
+
+  LambdaPtr lambdaArg(const CallExpr *C, std::size_t I) {
+    ExprPtr A = C->getArgs()[I];
+    if (A->getKind() != Expr::Kind::Lambda)
+      fatalError("expected lambda argument in " +
+                 std::string(primName(C->getPrim())));
+    return std::static_pointer_cast<LambdaExpr>(A);
+  }
+
+  const TypePtr &arrayOrError(const TypePtr &T, const ExprPtr &E) {
+    if (T->getKind() != Type::Kind::Array)
+      typeError("expected array, got " + T->toString(), E);
+    return T;
+  }
+
+  TypePtr infer(const ExprPtr &E) {
+    TypePtr T = inferImpl(E);
+    E->setType(T);
+    return T;
+  }
+
+  TypePtr inferImpl(const ExprPtr &E) {
+    switch (E->getKind()) {
+    case Expr::Kind::Literal: {
+      Scalar V = dynCast<LiteralExpr>(E)->getValue();
+      return V.K == ScalarKind::Float ? floatT() : intT();
+    }
+    case Expr::Kind::Param: {
+      auto It = Env.find(static_cast<const ParamExpr *>(E.get()));
+      if (It == Env.end())
+        typeError("unbound parameter", E);
+      return It->second;
+    }
+    case Expr::Kind::Lambda:
+      typeError("lambda outside function position", E);
+    case Expr::Kind::Call:
+      return inferCall(std::static_pointer_cast<CallExpr>(E));
+    }
+    unreachable("covered switch");
+  }
+
+  TypePtr inferCall(const std::shared_ptr<CallExpr> &C) {
+    const ExprPtr E = C;
+    switch (C->getPrim()) {
+    case Prim::UserFunCall: {
+      const auto &Kinds = C->UF->getParamKinds();
+      if (C->getArgs().size() != Kinds.size())
+        typeError("userFun arity mismatch", E);
+      for (std::size_t I = 0, N = Kinds.size(); I != N; ++I) {
+        TypePtr AT = infer(C->getArgs()[I]);
+        if (!typeEquals(AT, scalarT(Kinds[I])))
+          typeError("userFun argument " + std::to_string(I) + " has type " +
+                        AT->toString(),
+                    E);
+      }
+      return scalarT(C->UF->getRetKind());
+    }
+
+    case Prim::Map:
+    case Prim::MapGlb:
+    case Prim::MapWrg:
+    case Prim::MapLcl:
+    case Prim::MapSeq: {
+      TypePtr InT = arrayOrError(infer(C->getArgs()[1]), E);
+      TypePtr OutElem = inferLambda(lambdaArg(C.get(), 0), {InT->getElem()}, E);
+      return arrayT(OutElem, InT->getSize());
+    }
+
+    case Prim::Reduce:
+    case Prim::ReduceSeq:
+    case Prim::ReduceSeqUnroll: {
+      TypePtr InitT = infer(C->getArgs()[1]);
+      TypePtr InT = arrayOrError(infer(C->getArgs()[2]), E);
+      TypePtr BodyT =
+          inferLambda(lambdaArg(C.get(), 0), {InitT, InT->getElem()}, E);
+      if (!typeEquals(BodyT, InitT))
+        typeError("reduction operator must preserve accumulator type; got " +
+                      BodyT->toString() + " vs " + InitT->toString(),
+                  E);
+      return arrayT(InitT, cst(1));
+    }
+
+    case Prim::Iterate: {
+      TypePtr InT = infer(C->getArgs()[1]);
+      TypePtr OutT = inferLambda(lambdaArg(C.get(), 0), {InT}, E);
+      if (!typeEquals(OutT, InT))
+        typeError("iterate body must preserve its type; got " +
+                      OutT->toString() + " vs " + InT->toString(),
+                  E);
+      return InT;
+    }
+
+    case Prim::Zip: {
+      std::vector<TypePtr> Comps;
+      TypePtr FirstT = arrayOrError(infer(C->getArgs()[0]), E);
+      Comps.push_back(FirstT->getElem());
+      for (std::size_t I = 1, N = C->getArgs().size(); I != N; ++I) {
+        TypePtr T = arrayOrError(infer(C->getArgs()[I]), E);
+        if (!exprEquals(T->getSize(), FirstT->getSize()))
+          typeError("zip of arrays with different lengths: " +
+                        FirstT->getSize()->toString() + " vs " +
+                        T->getSize()->toString(),
+                    E);
+        Comps.push_back(T->getElem());
+      }
+      return arrayT(tupleT(std::move(Comps)), FirstT->getSize());
+    }
+
+    case Prim::Split: {
+      TypePtr InT = arrayOrError(infer(C->getArgs()[0]), E);
+      // [T]n -> [[T]m]{n/m}; m must divide n at runtime.
+      return arrayT(arrayT(InT->getElem(), C->Factor),
+                    floorDiv(InT->getSize(), C->Factor));
+    }
+
+    case Prim::Join: {
+      TypePtr InT = arrayOrError(infer(C->getArgs()[0]), E);
+      TypePtr Inner = arrayOrError(InT->getElem(), E);
+      return arrayT(Inner->getElem(), mul(InT->getSize(), Inner->getSize()));
+    }
+
+    case Prim::Transpose: {
+      TypePtr InT = arrayOrError(infer(C->getArgs()[0]), E);
+      TypePtr Inner = arrayOrError(InT->getElem(), E);
+      return arrayT(arrayT(Inner->getElem(), InT->getSize()),
+                    Inner->getSize());
+    }
+
+    case Prim::Slide: {
+      TypePtr InT = arrayOrError(infer(C->getArgs()[0]), E);
+      // [T]n -> [[T]size]{(n - size + step) / step}
+      AExpr OutLen = floorDiv(add(sub(InT->getSize(), C->Size), C->Step),
+                              C->Step);
+      return arrayT(arrayT(InT->getElem(), C->Size), OutLen);
+    }
+
+    case Prim::Pad: {
+      TypePtr InT = arrayOrError(infer(C->getArgs()[0]), E);
+      return arrayT(InT->getElem(),
+                    add(add(C->PadL, InT->getSize()), C->PadR));
+    }
+
+    case Prim::At: {
+      TypePtr InT = arrayOrError(infer(C->getArgs()[0]), E);
+      if (InT->getSize()->getKind() == ArithExpr::Kind::Cst &&
+          C->Index >= InT->getSize()->getCst())
+        typeError("constant index out of bounds", E);
+      return InT->getElem();
+    }
+
+    case Prim::Get: {
+      TypePtr InT = infer(C->getArgs()[0]);
+      if (InT->getKind() != Type::Kind::Tuple)
+        typeError("get on non-tuple " + InT->toString(), E);
+      if (std::size_t(C->Index) >= InT->getComponents().size())
+        typeError("tuple index out of bounds", E);
+      return InT->getComponents()[C->Index];
+    }
+
+    case Prim::SizeVal:
+      return intT();
+
+    case Prim::Generate: {
+      std::vector<TypePtr> IdxTypes(C->GenSizes.size(), intT());
+      TypePtr ElemT = inferLambda(lambdaArg(C.get(), 0), IdxTypes, E);
+      if (ElemT->getKind() != Type::Kind::Scalar)
+        typeError("generate produces scalars only", E);
+      TypePtr T = ElemT;
+      for (auto It = C->GenSizes.rbegin(); It != C->GenSizes.rend(); ++It)
+        T = arrayT(T, *It);
+      return T;
+    }
+    }
+    unreachable("covered switch");
+  }
+};
+
+} // namespace
+
+TypePtr lift::ir::inferTypes(const Program &P) {
+  Inferer I;
+  return I.inferProgram(P);
+}

@@ -1,0 +1,34 @@
+//===- TypeInference.h - Lift IR type inference ----------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type inference over Lift programs. Sizes are propagated symbolically:
+/// e.g. slide(size, step) maps [T]n to [[T]size]{(n-size+step)/step}
+/// (paper §3.2) and pad(l, r) maps [T]n to [T]{l+n+r}. Ill-typed
+/// programs (mismatched zip lengths, wrong userFun arity, non-invariant
+/// iterate bodies, ...) are fatal errors: they indicate bugs in builders
+/// or rewrite rules, never valid user input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_IR_TYPEINFERENCE_H
+#define LIFT_IR_TYPEINFERENCE_H
+
+#include "ir/Expr.h"
+
+namespace lift {
+namespace ir {
+
+/// Infers and stores the type of every node in \p P. The program's
+/// parameters must carry declared types. Returns the program result
+/// type.
+TypePtr inferTypes(const Program &P);
+
+} // namespace ir
+} // namespace lift
+
+#endif // LIFT_IR_TYPEINFERENCE_H

@@ -1,0 +1,147 @@
+//===- Types.cpp - Lift IR types ------------------------------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Types.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+
+using namespace lift;
+using namespace lift::ir;
+
+ScalarKind Type::getScalarKind() const {
+  assert(K == Kind::Scalar && "getScalarKind on non-scalar");
+  return SK;
+}
+
+const TypePtr &Type::getElem() const {
+  assert(K == Kind::Array && "getElem on non-array");
+  return Elem;
+}
+
+const AExpr &Type::getSize() const {
+  assert(K == Kind::Array && "getSize on non-array");
+  return Size;
+}
+
+const std::vector<TypePtr> &Type::getComponents() const {
+  assert(K == Kind::Tuple && "getComponents on non-tuple");
+  return Components;
+}
+
+TypePtr lift::ir::scalarT(ScalarKind SK) {
+  auto T = std::shared_ptr<Type>(new Type());
+  T->K = Type::Kind::Scalar;
+  T->SK = SK;
+  return T;
+}
+
+TypePtr lift::ir::floatT() {
+  static TypePtr T = scalarT(ScalarKind::Float);
+  return T;
+}
+
+TypePtr lift::ir::intT() {
+  static TypePtr T = scalarT(ScalarKind::Int);
+  return T;
+}
+
+TypePtr lift::ir::arrayT(TypePtr Elem, AExpr Size) {
+  assert(Elem && Size && "arrayT requires element type and size");
+  auto T = std::shared_ptr<Type>(new Type());
+  T->K = Type::Kind::Array;
+  T->Elem = std::move(Elem);
+  T->Size = std::move(Size);
+  return T;
+}
+
+TypePtr lift::ir::tupleT(std::vector<TypePtr> Components) {
+  assert(Components.size() >= 2 && "tuples have at least two components");
+  auto T = std::shared_ptr<Type>(new Type());
+  T->K = Type::Kind::Tuple;
+  T->Components = std::move(Components);
+  return T;
+}
+
+bool lift::ir::typeEquals(const TypePtr &A, const TypePtr &B) {
+  if (A.get() == B.get())
+    return true;
+  if (A->getKind() != B->getKind())
+    return false;
+  switch (A->getKind()) {
+  case Type::Kind::Scalar:
+    return A->getScalarKind() == B->getScalarKind();
+  case Type::Kind::Array:
+    return exprEquals(A->getSize(), B->getSize()) &&
+           typeEquals(A->getElem(), B->getElem());
+  case Type::Kind::Tuple: {
+    const auto &CA = A->getComponents();
+    const auto &CB = B->getComponents();
+    if (CA.size() != CB.size())
+      return false;
+    for (std::size_t I = 0, E = CA.size(); I != E; ++I)
+      if (!typeEquals(CA[I], CB[I]))
+        return false;
+    return true;
+  }
+  }
+  unreachable("covered switch");
+}
+
+unsigned lift::ir::numDims(const TypePtr &T) {
+  unsigned N = 0;
+  const Type *Cur = T.get();
+  while (Cur->getKind() == Type::Kind::Array) {
+    ++N;
+    Cur = Cur->getElem().get();
+  }
+  return N;
+}
+
+TypePtr lift::ir::ultimateElem(const TypePtr &T) {
+  TypePtr Cur = T;
+  while (Cur->getKind() == Type::Kind::Array)
+    Cur = Cur->getElem();
+  if (Cur->getKind() == Type::Kind::Tuple)
+    fatalError("ultimateElem on tuple-element array");
+  return Cur;
+}
+
+AExpr lift::ir::elementCount(const TypePtr &T) {
+  switch (T->getKind()) {
+  case Type::Kind::Scalar:
+    return cst(1);
+  case Type::Kind::Array:
+    return mul(T->getSize(), elementCount(T->getElem()));
+  case Type::Kind::Tuple: {
+    AExpr Sum = cst(0);
+    for (const TypePtr &C : T->getComponents())
+      Sum = add(Sum, elementCount(C));
+    return Sum;
+  }
+  }
+  unreachable("covered switch");
+}
+
+std::string Type::toString() const {
+  switch (K) {
+  case Kind::Scalar:
+    return SK == ScalarKind::Float ? "float" : "int";
+  case Kind::Array:
+    return "[" + Elem->toString() + "]" + Size->toString();
+  case Kind::Tuple: {
+    std::string S = "{";
+    for (std::size_t I = 0, E = Components.size(); I != E; ++I) {
+      if (I != 0)
+        S += ", ";
+      S += Components[I]->toString();
+    }
+    return S + "}";
+  }
+  }
+  unreachable("covered switch");
+}

@@ -1,0 +1,108 @@
+//===- Types.h - Lift IR types ---------------------------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Lift type system: scalars, size-carrying arrays and tuples.
+///
+/// Array types carry their length as a symbolic ArithExpr (paper §3.1:
+/// "arrays can be nested and carry their size in their type"), which is
+/// what lets the type checker verify primitive composition — e.g. that
+/// slide(3, 1) over [T]n yields [[T]3]{n-2} — for unknown n.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_IR_TYPES_H
+#define LIFT_IR_TYPES_H
+
+#include "arith/ArithExpr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace ir {
+
+class Type;
+
+/// Shared handle to an immutable type.
+using TypePtr = std::shared_ptr<const Type>;
+
+/// Scalar element kinds. The paper's experiments use single-precision
+/// floats; Int exists for index-valued generators and masks.
+enum class ScalarKind { Float, Int };
+
+/// An immutable Lift type: scalar, sized array, or tuple.
+class Type {
+public:
+  enum class Kind { Scalar, Array, Tuple };
+
+  Kind getKind() const { return K; }
+
+  /// Scalar kind; only valid on Scalar types.
+  ScalarKind getScalarKind() const;
+
+  /// Element type; only valid on Array types.
+  const TypePtr &getElem() const;
+
+  /// Symbolic element count; only valid on Array types.
+  const AExpr &getSize() const;
+
+  /// Tuple component types; only valid on Tuple types.
+  const std::vector<TypePtr> &getComponents() const;
+
+  /// Renders e.g. "[[float]3](n + -2)" or "{float, int}".
+  std::string toString() const;
+
+  friend TypePtr scalarT(ScalarKind SK);
+  friend TypePtr arrayT(TypePtr Elem, AExpr Size);
+  friend TypePtr tupleT(std::vector<TypePtr> Components);
+
+private:
+  Type() = default;
+
+  Kind K = Kind::Scalar;
+  ScalarKind SK = ScalarKind::Float;
+  TypePtr Elem;
+  AExpr Size;
+  std::vector<TypePtr> Components;
+};
+
+/// Creates a scalar type.
+TypePtr scalarT(ScalarKind SK);
+
+/// float
+TypePtr floatT();
+
+/// int
+TypePtr intT();
+
+/// Creates an array type [Elem]Size.
+TypePtr arrayT(TypePtr Elem, AExpr Size);
+
+/// Creates a tuple type {C0, C1, ...}.
+TypePtr tupleT(std::vector<TypePtr> Components);
+
+/// Structural equality; array sizes compare via exprEquals, i.e. two
+/// sizes are equal when their canonical forms coincide.
+bool typeEquals(const TypePtr &A, const TypePtr &B);
+
+/// Number of nested array dimensions (0 for non-arrays).
+unsigned numDims(const TypePtr &T);
+
+/// The scalar type at the bottom of an array/tuple-free nest; fatal on
+/// tuples.
+TypePtr ultimateElem(const TypePtr &T);
+
+/// Total number of scalar elements in an array nest (product of sizes);
+/// tuples count the sum of their component footprints.
+AExpr elementCount(const TypePtr &T);
+
+} // namespace ir
+} // namespace lift
+
+#endif // LIFT_IR_TYPES_H

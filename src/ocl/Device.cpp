@@ -1,0 +1,147 @@
+//===- Device.cpp - GPU device timing models ---------------------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/Device.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace lift;
+using namespace lift::ocl;
+
+DeviceSpec lift::ocl::deviceNvidiaK20c() {
+  DeviceSpec D;
+  D.Name = "NvidiaK20c";
+  D.DramBandwidth = 140e9;  // ECC-on effective of the 208 GB/s peak
+  D.CacheBandwidth = 1300e9; // L1/tex + L2 hit bandwidth, aggregate
+  D.LocalBandwidth = 900e9;  // shared memory with bank-conflict slack
+  D.OpsPerSecond = 1.1e12;  // effective scalar op throughput
+  D.Cache = CacheConfig{128, std::int64_t(1280) * 1024, 4}; // 1.25 MB L2
+  D.NumCUs = 13;
+  D.ThreadsPerCU = 2048;
+  D.MaxGroupsPerCU = 16;
+  D.LocalMemPerCU = 48 * 1024;
+  D.MaxWorkGroupSize = 1024;
+  D.WarpSize = 32;
+  D.BarrierCost = 30e-9;
+  D.LaunchOverhead = 20e-6;
+  return D;
+}
+
+DeviceSpec lift::ocl::deviceAmdHd7970() {
+  DeviceSpec D;
+  D.Name = "AmdHd7970";
+  D.DramBandwidth = 230e9;  // ~87% of 264 GB/s
+  D.CacheBandwidth = 1100e9; // L1 vector caches + L2, aggregate
+  // LDS bandwidth degraded by bank conflicts in halo access patterns.
+  D.LocalBandwidth = 650e9;
+  D.OpsPerSecond = 1.3e12;
+  D.Cache = CacheConfig{64, std::int64_t(768) * 1024, 4}; // 768 KB L2
+  D.NumCUs = 32;
+  D.ThreadsPerCU = 2560; // 40 wavefronts x 64
+  D.MaxGroupsPerCU = 16;
+  D.LocalMemPerCU = 64 * 1024;
+  D.MaxWorkGroupSize = 256;
+  D.WarpSize = 64;
+  // Wavefront-wide barriers on GCN are comparatively expensive.
+  D.BarrierCost = 150e-9;
+  D.LaunchOverhead = 20e-6;
+  return D;
+}
+
+DeviceSpec lift::ocl::deviceMaliT628() {
+  DeviceSpec D;
+  D.Name = "MaliT628";
+  D.DramBandwidth = 5.5e9; // shared LPDDR3, effective
+  D.CacheBandwidth = 17e9;
+  // Mali has no scratchpad: OpenCL local memory is emulated in the
+  // same L2/DRAM path, with extra address translation overhead, so
+  // staging through it is strictly slower than reading through the
+  // cache (ARM's own optimization guides advise against local memory).
+  D.LocalBandwidth = 6e9;
+  D.OpsPerSecond = 35e9;
+  D.Cache = CacheConfig{64, std::int64_t(256) * 1024, 4}; // 256 KB L2
+  D.NumCUs = 6;
+  D.ThreadsPerCU = 256;
+  D.MaxGroupsPerCU = 8;
+  D.LocalMemPerCU = 32 * 1024;
+  D.MaxWorkGroupSize = 256;
+  D.WarpSize = 4; // quad-style threading; mild granularity effect
+  D.BarrierCost = 150e-9;
+  D.LaunchOverhead = 60e-6;
+  return D;
+}
+
+std::vector<DeviceSpec> lift::ocl::paperDevices() {
+  return {deviceNvidiaK20c(), deviceAmdHd7970(), deviceMaliT628()};
+}
+
+Timing lift::ocl::estimateTime(const DeviceSpec &Dev, const ExecCounters &C,
+                               const NDRangeInfo &ND,
+                               const LaunchParams &LP) {
+  Timing T;
+
+  // Memory engine: line misses stream from DRAM, hits come from the
+  // cache; stores are written through.
+  double MissBytes =
+      double(C.GlobalLoadLineMisses) * double(Dev.Cache.LineBytes);
+  double StoreBytes = double(C.GlobalStores) * 4.0;
+  double HitLoads =
+      double(C.GlobalLoads - std::min(C.GlobalLoads, C.GlobalLoadLineMisses));
+  T.MemTime = (MissBytes + StoreBytes) / Dev.DramBandwidth +
+              HitLoads * 4.0 / Dev.CacheBandwidth;
+
+  // Local memory engine.
+  T.LocalTime =
+      double(C.LocalLoads + C.LocalStores) * 4.0 / Dev.LocalBandwidth;
+
+  // Compute engine: user-function flops plus per-access/loop overhead
+  // instructions.
+  double Ops = double(C.Flops) +
+               double(C.GlobalLoads + C.GlobalStores) * 1.0 +
+               double(C.LocalLoads + C.LocalStores) * 1.0 +
+               double(C.PrivateAccesses) * 0.5 +
+               double(C.LoopIterations) * 2.0 +
+               double(C.SelectEvals) * 2.0;
+  T.ComputeTime = Ops / Dev.OpsPerSecond;
+
+  // Utilization: how much of the machine the launch can keep busy.
+  std::int64_t WgSize =
+      ND.UsesWorkGroups
+          ? ND.LocalSize[0] * ND.LocalSize[1] * ND.LocalSize[2]
+          : std::min<std::int64_t>(LP.WorkGroupSize, ND.totalWorkItems());
+  WgSize = std::max<std::int64_t>(1, WgSize);
+
+  // Resident groups per CU, limited by local memory use.
+  std::int64_t GroupsPerCU = Dev.MaxGroupsPerCU;
+  if (ND.LocalMemBytes > 0)
+    GroupsPerCU = std::min(
+        GroupsPerCU,
+        std::max<std::int64_t>(1, Dev.LocalMemPerCU / ND.LocalMemBytes));
+  std::int64_t ResidentPerCU =
+      std::min(Dev.ThreadsPerCU, GroupsPerCU * WgSize);
+  std::int64_t Concurrent = Dev.NumCUs * ResidentPerCU;
+
+  // Warp granularity: partially filled warps waste lanes.
+  double WarpEff = 1.0;
+  if (Dev.WarpSize > 1) {
+    double Warps = std::ceil(double(WgSize) / double(Dev.WarpSize));
+    WarpEff = double(WgSize) / (Warps * double(Dev.WarpSize));
+  }
+
+  double Active =
+      double(std::min<std::int64_t>(ND.totalWorkItems(), Concurrent)) *
+      WarpEff;
+  T.Utilization = std::clamp(
+      Active / double(Dev.maxConcurrentThreads()), 1e-4, 1.0);
+
+  T.BarrierTime = double(C.Barriers) * Dev.BarrierCost;
+  T.LaunchTime = Dev.LaunchOverhead;
+
+  double Busy = std::max({T.MemTime, T.ComputeTime, T.LocalTime});
+  T.Total = Busy / T.Utilization + T.BarrierTime + T.LaunchTime;
+  return T;
+}

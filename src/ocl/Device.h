@@ -1,0 +1,98 @@
+//===- Device.h - GPU device timing models ---------------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analytic device timing models. The simulator (Sim.h) measures what a
+/// kernel *does* — memory transactions through a cache, local-memory
+/// traffic, arithmetic, barriers; a DeviceSpec says how fast a given
+/// GPU does each of those things. Predicted runtime:
+///
+///   t_mem     = (miss lines * line bytes + store bytes) / DRAM BW
+///               + hit bytes / cache-hit BW
+///   t_local   = local bytes / local-memory BW
+///   t_compute = weighted ops / op throughput
+///   busy      = max(t_mem, t_compute, t_local)   (overlapped engines)
+///   total     = busy / utilization + barriers * cost + launch overhead
+///
+/// Utilization captures the two occupancy effects the paper observes:
+/// small inputs cannot fill big GPUs (SRAD1/2 on K20c/HD7970, §7.1),
+/// and heavy local-memory use limits resident work-groups. Three
+/// calibrated specs model the paper's platforms: an NVIDIA Tesla
+/// K20c-, an AMD Radeon HD 7970- and an ARM Mali T628-like device. The
+/// Mali spec has *emulated* local memory (no faster than cache), which
+/// is why local-memory tiling never wins there (paper §7.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_OCL_DEVICE_H
+#define LIFT_OCL_DEVICE_H
+
+#include "ocl/Sim.h"
+
+#include <string>
+
+namespace lift {
+namespace ocl {
+
+/// Performance characteristics of a modeled GPU.
+struct DeviceSpec {
+  std::string Name;
+  double DramBandwidth;  ///< bytes/s from DRAM
+  double CacheBandwidth; ///< bytes/s on cache hits
+  double LocalBandwidth; ///< bytes/s to local (scratchpad) memory
+  double OpsPerSecond;   ///< weighted scalar ops/s (all work-items)
+  CacheConfig Cache;     ///< last-level cache geometry
+  std::int64_t NumCUs;          ///< compute units (SM / CU / core)
+  std::int64_t ThreadsPerCU;    ///< resident work-items per CU
+  std::int64_t MaxGroupsPerCU;  ///< resident work-groups per CU
+  std::int64_t LocalMemPerCU;   ///< bytes of local memory per CU
+  std::int64_t MaxWorkGroupSize;
+  int WarpSize;          ///< SIMT width (1 = no divergence penalty)
+  double BarrierCost;    ///< seconds per work-group barrier execution
+  double LaunchOverhead; ///< seconds per kernel launch
+
+  std::int64_t maxConcurrentThreads() const { return NumCUs * ThreadsPerCU; }
+};
+
+/// NVIDIA Tesla K20c-like device (Kepler, 13 SMX, 208 GB/s).
+DeviceSpec deviceNvidiaK20c();
+/// AMD Radeon HD 7970-like device (GCN, 32 CUs, 264 GB/s).
+DeviceSpec deviceAmdHd7970();
+/// ARM Mali T628-like device (6 cores, shared LPDDR3, emulated local
+/// memory).
+DeviceSpec deviceMaliT628();
+
+/// All three paper platforms.
+std::vector<DeviceSpec> paperDevices();
+
+/// Launch-time tuning knobs that are not part of the kernel structure.
+struct LaunchParams {
+  /// Work-group size used for kernels without Wrg/Lcl structure
+  /// (mapGlb-only kernels); kernels with explicit work-group structure
+  /// take their group shape from the loop extents.
+  std::int64_t WorkGroupSize = 128;
+};
+
+/// Predicted execution time, decomposed.
+struct Timing {
+  double MemTime = 0;
+  double ComputeTime = 0;
+  double LocalTime = 0;
+  double BarrierTime = 0;
+  double LaunchTime = 0;
+  double Utilization = 1.0;
+  double Total = 0;
+};
+
+/// Applies the timing model to measured counters.
+Timing estimateTime(const DeviceSpec &Dev, const ExecCounters &C,
+                    const NDRangeInfo &ND, const LaunchParams &LP);
+
+} // namespace ocl
+} // namespace lift
+
+#endif // LIFT_OCL_DEVICE_H

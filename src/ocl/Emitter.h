@@ -1,0 +1,32 @@
+//===- Emitter.h - OpenCL C source emission --------------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-prints a kernel AST as OpenCL C source. This is the artifact
+/// a real OpenCL runtime would compile; here it serves inspection and
+/// golden tests, while execution goes through the simulator (Sim.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_OCL_EMITTER_H
+#define LIFT_OCL_EMITTER_H
+
+#include "ocl/KernelAst.h"
+
+#include <string>
+
+namespace lift {
+namespace ocl {
+
+/// Renders \p K as a complete OpenCL C translation unit: user-function
+/// definitions followed by the kernel.
+std::string emitOpenCL(const Kernel &K);
+
+} // namespace ocl
+} // namespace lift
+
+#endif // LIFT_OCL_EMITTER_H

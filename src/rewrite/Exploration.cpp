@@ -1,0 +1,144 @@
+//===- Exploration.cpp - Automatic rewrite-space exploration ------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Exploration.h"
+
+#include "ir/TypeInference.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::rewrite;
+
+namespace {
+
+/// Applies R at the Occurrence-th match; decrements Occurrence as
+/// matches are passed. Returns nullptr if not enough matches.
+ExprPtr applyAtRec(const Rule &R, const ExprPtr &E, int &Occurrence) {
+  if (ExprPtr New = R.Apply(E)) {
+    if (Occurrence == 0)
+      return New;
+    --Occurrence;
+    // Fall through: also search the children of this (unrewritten)
+    // node for later occurrences.
+  }
+  switch (E->getKind()) {
+  case Expr::Kind::Literal:
+  case Expr::Kind::Param:
+    return nullptr;
+  case Expr::Kind::Lambda: {
+    const auto *L = dynCast<LambdaExpr>(E);
+    ExprPtr NewBody = applyAtRec(R, L->getBody(), Occurrence);
+    if (!NewBody)
+      return nullptr;
+    return lambda(L->getParams(), std::move(NewBody), L->getAddrSpace());
+  }
+  case Expr::Kind::Call: {
+    const auto *C = dynCast<CallExpr>(E);
+    for (std::size_t I = 0, N = C->getArgs().size(); I != N; ++I) {
+      ExprPtr NewArg = applyAtRec(R, C->getArgs()[I], Occurrence);
+      if (!NewArg)
+        continue;
+      std::vector<ExprPtr> Args = C->getArgs();
+      Args[I] = std::move(NewArg);
+      auto NC = std::make_shared<CallExpr>(C->getPrim(), std::move(Args));
+      NC->UF = C->UF;
+      NC->Dim = C->Dim;
+      NC->Factor = C->Factor;
+      NC->Size = C->Size;
+      NC->Step = C->Step;
+      NC->PadL = C->PadL;
+      NC->PadR = C->PadR;
+      NC->Bdy = C->Bdy;
+      NC->Index = C->Index;
+      NC->IterCount = C->IterCount;
+      NC->GenSizes = C->GenSizes;
+      return NC;
+    }
+    return nullptr;
+  }
+  }
+  return nullptr;
+}
+
+} // namespace
+
+ExprPtr lift::rewrite::applyAtOccurrence(const Rule &R, const ExprPtr &E,
+                                         int Occurrence) {
+  int Remaining = Occurrence;
+  return applyAtRec(R, E, Remaining);
+}
+
+std::vector<Rule> lift::rewrite::stencilExplorationRules() {
+  std::vector<Rule> Rules;
+  Rules.push_back(mapFusionRule());
+  for (std::int64_t V : {4, 8})
+    Rules.push_back(tiling1DRule(V));
+  for (std::int64_t M : {2, 4})
+    Rules.push_back(splitJoinRule(cst(M)));
+  Rules.push_back(joinSplitRule());
+  Rules.push_back(mapIdEliminationRule());
+  Rules.push_back(padPadMergeRule());
+  return Rules;
+}
+
+std::vector<Derivation> lift::rewrite::explore(const Program &Start,
+                                               const std::vector<Rule> &Rules,
+                                               const ExplorationOptions &O) {
+  std::vector<Derivation> Result;
+  std::unordered_set<std::string> Seen;
+
+  struct WorkItem {
+    Program P;
+    std::vector<std::string> Applied;
+    int Depth;
+  };
+  std::deque<WorkItem> Queue;
+
+  Program First = cloneProgram(Start);
+  inferTypes(First);
+  Seen.insert(toString(First));
+  Result.push_back(Derivation{First, {}});
+  Queue.push_back(WorkItem{First, {}, 0});
+
+  while (!Queue.empty() && int(Result.size()) < O.MaxPrograms) {
+    WorkItem Item = std::move(Queue.front());
+    Queue.pop_front();
+    if (Item.Depth >= O.MaxDepth)
+      continue;
+
+    for (const Rule &R : Rules) {
+      int Matches = countMatches(R, Item.P->getBody());
+      for (int Occ = 0; Occ != Matches; ++Occ) {
+        ExprPtr NewBody = applyAtOccurrence(R, Item.P->getBody(), Occ);
+        if (!NewBody)
+          continue;
+        Program Candidate = makeProgram(Item.P->getParams(), NewBody);
+        // Clone so derivations never share mutable type state, then
+        // dedupe structurally by the printed form (names of bound
+        // params are positional enough in practice to distinguish
+        // structure; collisions only drop duplicates).
+        Candidate = cloneProgram(Candidate);
+        // Types let rules check static validity constraints (e.g. the
+        // tiling rule's exact-fit requirement on constant lengths).
+        inferTypes(Candidate);
+        std::string Key = toString(Candidate);
+        if (!Seen.insert(Key).second)
+          continue;
+        std::vector<std::string> Applied = Item.Applied;
+        Applied.push_back(R.Name);
+        Result.push_back(Derivation{Candidate, Applied});
+        Queue.push_back(
+            WorkItem{Candidate, std::move(Applied), Item.Depth + 1});
+        if (int(Result.size()) >= O.MaxPrograms)
+          return Result;
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,67 @@
+//===- Exploration.h - Automatic rewrite-space exploration -----*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Automatic exploration of the rewrite space (paper §1: "optimizations
+/// are all encoded as formal, semantics-preserving rewrite rules. These
+/// rules define an optimization space which is automatically searched").
+///
+/// Starting from one high-level program, exploration repeatedly applies
+/// every rule of a rule set at every matching position, collecting the
+/// distinct programs reachable within a depth bound. Each reachable
+/// program is a semantically equal implementation candidate; the
+/// deterministic lowering strategies (Lowering.h) are the
+/// production-path shortcut through this same space, and the test suite
+/// checks that exploration rediscovers their shapes (tiled and untiled)
+/// from the unannotated program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_REWRITE_EXPLORATION_H
+#define LIFT_REWRITE_EXPLORATION_H
+
+#include "rewrite/Rules.h"
+
+namespace lift {
+namespace rewrite {
+
+/// Exploration limits.
+struct ExplorationOptions {
+  int MaxDepth = 3;       ///< rule applications per derivation
+  int MaxPrograms = 256;  ///< total distinct programs to keep
+};
+
+/// One point in the explored space.
+struct Derivation {
+  ir::Program P;
+  std::vector<std::string> RulesApplied; ///< names, in application order
+};
+
+/// Explores the space reachable from \p Start by the given rules.
+/// Rules are applied one position at a time (every matching position
+/// spawns a new derivation). Programs are deduplicated structurally
+/// (by their printed form). The result always contains \p Start itself
+/// as the first derivation.
+std::vector<Derivation> explore(const ir::Program &Start,
+                                const std::vector<Rule> &Rules,
+                                const ExplorationOptions &O);
+
+/// The stencil exploration rule set used by the paper: map fusion,
+/// overlapped tiling with a few tile sizes, split-join with a few
+/// chunk sizes, plus the simplification rules keeping the space small.
+std::vector<Rule> stencilExplorationRules();
+
+/// Applies \p R at the \p Occurrence-th matching position (0-based,
+/// pre-order); nullptr when there is no such position. The building
+/// block that lets exploration branch on positions, not just rules.
+ir::ExprPtr applyAtOccurrence(const Rule &R, const ir::ExprPtr &E,
+                              int Occurrence);
+
+} // namespace rewrite
+} // namespace lift
+
+#endif // LIFT_REWRITE_EXPLORATION_H

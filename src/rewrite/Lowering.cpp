@@ -1,0 +1,322 @@
+//===- Lowering.cpp - High-level to OpenCL-level lowering ---------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Lowering.h"
+
+#include "ir/TypeInference.h"
+#include "stencil/StencilOps.h"
+#include "support/Support.h"
+
+#include <cassert>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::rewrite;
+using lift::stencil::mapAtDepth;
+using lift::stencil::slideNd;
+
+std::string LoweringOptions::describe() const {
+  std::string S;
+  if (Tile) {
+    S = "tiled" + std::to_string(TileOutputs);
+    if (UseLocalMem)
+      S += "-local";
+    if (TileCoarsen > 1)
+      S += "-coarsen" + std::to_string(TileCoarsen);
+  } else {
+    S = "global";
+    if (Coarsen > 1)
+      S += "-coarsen" + std::to_string(Coarsen);
+  }
+  if (UnrollReduce)
+    S += "-unroll";
+  return S;
+}
+
+namespace {
+
+LambdaPtr cloneLambda(const LambdaPtr &F) {
+  return std::static_pointer_cast<LambdaExpr>(
+      deepClone(std::static_pointer_cast<Expr>(F)));
+}
+
+/// Builds an n-deep nest of the given map primitive over \p In,
+/// applying \p F at the innermost level. Depth d maps to OpenCL
+/// dimension n-1-d so the innermost (contiguous) array dimension rides
+/// on id dimension 0 for coalescing. \p InnerCoarsen > 1 makes each
+/// innermost-dimension thread compute several points sequentially.
+ExprPtr buildMapNest(unsigned N, Prim MapKind, const LambdaPtr &F,
+                     ExprPtr In, std::int64_t InnerCoarsen = 1,
+                     unsigned Depth = 0) {
+  int Dim = int(N - 1 - Depth);
+  assert(Dim >= 0 && Dim < 3 && "stencils are at most 3D");
+  if (Depth == N - 1) {
+    if (InnerCoarsen > 1) {
+      LambdaPtr PerChunk = lam("chunk", [&](ExprPtr Chunk) {
+        return mapSeq(cloneLambda(F), Chunk);
+      });
+      return join(makeMapLike(MapKind, Dim, PerChunk,
+                              split(cst(InnerCoarsen), std::move(In))));
+    }
+    return makeMapLike(MapKind, Dim, F, std::move(In));
+  }
+  LambdaPtr Level = lam("lvl" + std::to_string(Depth), [&](ExprPtr X) {
+    return buildMapNest(N, MapKind, F, std::move(X), InnerCoarsen,
+                        Depth + 1);
+  });
+  return makeMapLike(MapKind, Dim, Level, std::move(In));
+}
+
+/// Innermost-dimension thread coarsening:
+/// join(mapGlb(0, chunk => mapSeq(f, chunk), split(c, in))).
+ExprPtr buildCoarsenedInner(const LambdaPtr &F, ExprPtr In,
+                            std::int64_t Coarsen) {
+  LambdaPtr PerChunk = lam("chunk", [&](ExprPtr Chunk) {
+    return mapSeq(cloneLambda(F), Chunk);
+  });
+  return join(mapGlb(0, PerChunk, split(cst(Coarsen), std::move(In))));
+}
+
+/// Untiled lowering of an n-dim map nest onto global ids, optionally
+/// coarsened along the innermost dimension.
+ExprPtr buildGlbNest(unsigned N, const LambdaPtr &F, ExprPtr In,
+                     std::int64_t Coarsen, unsigned Depth = 0) {
+  if (Depth == N - 1) {
+    if (Coarsen > 1)
+      return buildCoarsenedInner(F, std::move(In), Coarsen);
+    return mapGlb(0, F, std::move(In));
+  }
+  int Dim = int(N - 1 - Depth);
+  LambdaPtr Level = lam("lvl" + std::to_string(Depth), [&](ExprPtr X) {
+    return buildGlbNest(N, F, std::move(X), Coarsen, Depth + 1);
+  });
+  return makeMapLike(Prim::MapGlb, Dim, Level, std::move(In));
+}
+
+/// A cooperative copy of an n-dim tile into local memory: nested mapLcl
+/// loops of the identity with the outermost lambda marked toLocal.
+ExprPtr buildLocalCopy(unsigned N, ExprPtr Tile, unsigned Depth = 0) {
+  int Dim = int(N - 1 - Depth);
+  if (Depth == N - 1) {
+    LambdaPtr Id = etaLambda(ufIdFloat());
+    if (Depth == 0)
+      Id = toLocal(Id);
+    return mapLcl(Dim, Id, std::move(Tile));
+  }
+  LambdaPtr Level = lam("cpy" + std::to_string(Depth), [&](ExprPtr X) {
+    return buildLocalCopy(N, std::move(X), Depth + 1);
+  });
+  if (Depth == 0)
+    Level = toLocal(Level);
+  return makeMapLike(Prim::MapLcl, Dim, Level, std::move(Tile));
+}
+
+/// Merges a tiled result of shape [t0]..[t_{n-1}][v0]..[v_{n-1}] back
+/// into the flat n-dim grid [t0*v0]..: the multi-dimensional inverse of
+/// the tiling rule's join (paper §4.1, Figure 6). Interleaves tile and
+/// intra-tile dimensions with transposes, then joins each pair.
+ExprPtr untileNd(unsigned N, ExprPtr E) {
+  if (N == 1)
+    return join(std::move(E));
+  // Track dimension order: 0..N-1 are tile-grid dims, N..2N-1 are
+  // intra-tile dims. Bring each vi right after ti by adjacent swaps.
+  std::vector<unsigned> Order;
+  for (unsigned I = 0; I != 2 * N; ++I)
+    Order.push_back(I);
+  for (unsigned I = 0; I != N; ++I) {
+    unsigned Target = 2 * I + 1;
+    unsigned Pos = 0;
+    while (Order[Pos] != N + I)
+      ++Pos;
+    while (Pos > Target) {
+      // Swap positions Pos-1 and Pos == transpose at depth Pos-1.
+      E = mapAtDepth(
+          Pos - 1, [](ExprPtr X) { return transpose(std::move(X)); }, E);
+      std::swap(Order[Pos - 1], Order[Pos]);
+      --Pos;
+    }
+  }
+  // Join each (ti, vi) pair; after joining pair i, it occupies one
+  // dimension at depth i.
+  for (unsigned I = 0; I != N; ++I)
+    E = mapAtDepth(I, [](ExprPtr X) { return join(std::move(X)); }, E);
+  return E;
+}
+
+/// Rebuilds a call with new arguments, copying payload fields.
+ExprPtr rebuildCallArgs(const CallExpr &C, std::vector<ExprPtr> Args) {
+  auto NC = std::make_shared<CallExpr>(C.getPrim(), std::move(Args));
+  NC->UF = C.UF;
+  NC->Dim = C.Dim;
+  NC->Factor = C.Factor;
+  NC->Size = C.Size;
+  NC->Step = C.Step;
+  NC->PadL = C.PadL;
+  NC->PadR = C.PadR;
+  NC->Bdy = C.Bdy;
+  NC->Index = C.Index;
+  NC->IterCount = C.IterCount;
+  NC->GenSizes = C.GenSizes;
+  return NC;
+}
+
+/// Replaces embedded high-level compute map nests (e.g. the inner
+/// applications produced by expanding `iterate`) with untiled lowered
+/// nests. The code generator then materializes each lowered phase into
+/// a global temporary read by the next phase — the multi-phase
+/// execution the paper's `iterate` implies (§3.1).
+ExprPtr lowerEmbeddedNests(const ExprPtr &E) {
+  if (E->getKind() == Expr::Kind::Lambda) {
+    const auto *L = dynCast<LambdaExpr>(E);
+    ExprPtr NewBody = lowerEmbeddedNests(L->getBody());
+    if (NewBody.get() == L->getBody().get())
+      return E;
+    return lambda(L->getParams(), std::move(NewBody), L->getAddrSpace());
+  }
+  const auto *C = dynCast<CallExpr>(E);
+  if (!C)
+    return E;
+
+  // An embedded high-level compute map nest: lower it (untiled).
+  if (C->getPrim() == Prim::Map) {
+    const auto F = std::static_pointer_cast<LambdaExpr>(C->getArgs()[0]);
+    if (!isLayoutOnly(F->getBody())) {
+      std::optional<MapNdMatch> M = matchMapNd(E);
+      if (M && M->Dims <= 3) {
+        ExprPtr Input = lowerEmbeddedNests(M->Input);
+        return buildGlbNest(M->Dims, M->F, Input, /*Coarsen=*/1);
+      }
+    }
+  }
+
+  std::vector<ExprPtr> NewArgs;
+  bool Changed = false;
+  for (const ExprPtr &A : C->getArgs()) {
+    ExprPtr NA = lowerEmbeddedNests(A);
+    Changed |= NA.get() != A.get();
+    NewArgs.push_back(std::move(NA));
+  }
+  if (!Changed)
+    return E;
+  return rebuildCallArgs(*C, std::move(NewArgs));
+}
+
+} // namespace
+
+Program lift::rewrite::lowerStencil(const Program &P,
+                                    const LoweringOptions &O) {
+  Program Copy = cloneProgram(P);
+
+  // Expand any iterate into repeated application first.
+  int Dummy = 0;
+  ExprPtr Body = applyEverywhere(iterateExpandRule(), Copy->getBody(), Dummy);
+
+  std::optional<MapNdMatch> M = matchMapNd(Body);
+  if (!M || M->Dims > 3)
+    return nullptr;
+  unsigned N = M->Dims;
+
+  // Inner stencil phases (from iterate expansion or explicit chains)
+  // become lowered nests materialized into global temporaries.
+  M->Input = lowerEmbeddedNests(M->Input);
+
+  ExprPtr Lowered;
+  if (O.Tile) {
+    AExpr V = cst(O.TileOutputs);
+
+    // Single-grid shape: mapNd(f, slideNd(size, step, inner)).
+    if (std::optional<SlideNdMatch> S = matchSlideNd(M->Input)) {
+      if (S->Dims != N)
+        return nullptr;
+      // Tile extent u = v + (size - step), the §4.1 validity constraint.
+      AExpr U = add(V, sub(S->Size, S->Step));
+      ExprPtr Tiles = slideNd(N, U, V, S->Inner);
+
+      LambdaPtr F = M->F;
+      auto SizeE = S->Size;
+      auto StepE = S->Step;
+      bool Local = O.UseLocalMem;
+      std::int64_t TC = O.TileCoarsen;
+      LambdaPtr PerTile = lam("tile", [&](ExprPtr Tile) {
+        ExprPtr Staged = Local ? buildLocalCopy(N, Tile) : Tile;
+        return buildMapNest(N, Prim::MapLcl, cloneLambda(F),
+                            slideNd(N, SizeE, StepE, std::move(Staged)),
+                            TC);
+      });
+      Lowered = untileNd(N, buildMapNest(N, Prim::MapWrg, PerTile, Tiles));
+    } else if (std::optional<ZipNdMatch> Z = matchZipNd(M->Input, N)) {
+      // Multi-grid shape: mapNd(f, zipNd(comps)). Components that are
+      // themselves slideNd neighborhoods get overlapping tiles of
+      // extent u (optionally staged in local memory); point-wise
+      // components get exact tiles of extent v. The per-tile zips line
+      // up because both produce v^n outputs per tile.
+      std::vector<bool> IsSlided;
+      std::vector<ExprPtr> TiledComps;
+      AExpr SizeE, StepE;
+      for (const ExprPtr &Comp : Z->Comps) {
+        if (std::optional<SlideNdMatch> CS = matchSlideNd(Comp)) {
+          if (CS->Dims != N)
+            return nullptr;
+          if (SizeE && (!exprEquals(SizeE, CS->Size) ||
+                        !exprEquals(StepE, CS->Step)))
+            return nullptr; // mixed window geometries are unsupported
+          SizeE = CS->Size;
+          StepE = CS->Step;
+          AExpr U = add(V, sub(CS->Size, CS->Step));
+          TiledComps.push_back(slideNd(N, U, V, CS->Inner));
+          IsSlided.push_back(true);
+          continue;
+        }
+        TiledComps.push_back(slideNd(N, V, V, Comp));
+        IsSlided.push_back(false);
+      }
+      if (!SizeE)
+        return nullptr; // no neighborhood anywhere: nothing to tile
+
+      LambdaPtr F = M->F;
+      bool Local = O.UseLocalMem;
+      std::int64_t TC = O.TileCoarsen;
+      LambdaPtr PerTile = lam("tile", [&](ExprPtr Tile) {
+        std::vector<ExprPtr> Parts;
+        for (std::size_t I = 0, E2 = IsSlided.size(); I != E2; ++I) {
+          ExprPtr Part = get(int(I), Tile);
+          if (IsSlided[I]) {
+            if (Local)
+              Part = buildLocalCopy(N, std::move(Part));
+            Part = slideNd(N, SizeE, StepE, std::move(Part));
+          }
+          Parts.push_back(std::move(Part));
+        }
+        return buildMapNest(N, Prim::MapLcl, cloneLambda(F),
+                            lift::stencil::zipNd(N, std::move(Parts)), TC);
+      });
+      Lowered = untileNd(
+          N, buildMapNest(N, Prim::MapWrg, PerTile,
+                          lift::stencil::zipNd(N, std::move(TiledComps))));
+    } else {
+      return nullptr;
+    }
+  } else {
+    Lowered = buildGlbNest(N, M->F, M->Input, O.Coarsen);
+  }
+
+  // Sequentialize all remaining high-level compute: reductions and any
+  // compute maps inside the stencil function.
+  Lowered = applyEverywhere(reduceToSeqRule(), Lowered, Dummy);
+  Lowered = applyEverywhere(mapToSeqRule(), Lowered, Dummy);
+
+  Program Result = makeProgram(Copy->getParams(), Lowered);
+  inferTypes(Result);
+
+  if (O.UnrollReduce) {
+    int Unrolled = 0;
+    ExprPtr NewBody =
+        applyEverywhere(reduceUnrollRule(), Result->getBody(), Unrolled);
+    Result = makeProgram(Result->getParams(), NewBody);
+    inferTypes(Result);
+  }
+  return Result;
+}

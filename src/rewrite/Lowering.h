@@ -1,0 +1,65 @@
+//===- Lowering.h - High-level to OpenCL-level lowering --------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Macro-rules that compose the rewrite rules of Rules.h into complete
+/// OpenCL-level implementations — the role of Lift's exploration
+/// strategies. One high-level stencil program yields a family of
+/// low-level variants differing in:
+///
+///  * overlapped tiling on/off and the tile size (paper §4.1),
+///  * staging tiles in local memory (paper §4.2),
+///  * sequential work per thread (split-join thread coarsening),
+///  * reduction unrolling (paper §4.3).
+///
+/// The auto-tuner (src/tuner) searches this space per device, exactly
+/// as the paper tunes each benchmark per platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_REWRITE_LOWERING_H
+#define LIFT_REWRITE_LOWERING_H
+
+#include "rewrite/Rules.h"
+
+namespace lift {
+namespace rewrite {
+
+/// One point in the implementation space.
+struct LoweringOptions {
+  /// Apply the overlapped-tiling rule and map tiles to work-groups.
+  bool Tile = false;
+  /// Outputs per tile per dimension (the v of the tiling rule); the
+  /// tile extent is u = v + size - step.
+  std::int64_t TileOutputs = 16;
+  /// Stage each tile into local memory with a cooperative copy.
+  bool UseLocalMem = false;
+  /// Unroll constant-length reductions.
+  bool UnrollReduce = false;
+  /// Elements each thread computes sequentially along the innermost
+  /// dimension (1 = one element per thread). Untiled variants only.
+  std::int64_t Coarsen = 1;
+  /// Sequential outputs per thread along the innermost dimension
+  /// *inside a tile* (tiled variants only). This is how PPCG-style
+  /// schedules with blocks smaller than tiles are expressed: each
+  /// thread walks TileCoarsen points of its tile.
+  std::int64_t TileCoarsen = 1;
+
+  /// e.g. "tiled16-local-unroll" / "global-coarsen4".
+  std::string describe() const;
+};
+
+/// Lowers a canonical stencil program (a mapNd nest, optionally over
+/// slideNd/zip structures) into a low-level program per \p O. Returns
+/// nullptr when the options do not apply to this program's shape
+/// (e.g. tiling requested but no slideNd at the top).
+ir::Program lowerStencil(const ir::Program &P, const LoweringOptions &O);
+
+} // namespace rewrite
+} // namespace lift
+
+#endif // LIFT_REWRITE_LOWERING_H

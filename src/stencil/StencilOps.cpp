@@ -1,0 +1,122 @@
+//===- StencilOps.cpp - Multi-dimensional stencil builders ------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/StencilOps.h"
+
+#include <cassert>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::stencil;
+
+ExprPtr lift::stencil::mapAtDepth(
+    unsigned Depth, const std::function<ExprPtr(ExprPtr)> &F, ExprPtr In) {
+  if (Depth == 0)
+    return F(std::move(In));
+  return map(lam("x" + std::to_string(Depth),
+                 [&](ExprPtr X) { return mapAtDepth(Depth - 1, F, X); }),
+             std::move(In));
+}
+
+ExprPtr lift::stencil::mapNd(unsigned N, LambdaPtr F, ExprPtr In) {
+  assert(N >= 1 && "mapNd needs at least one dimension");
+  // map_n(f) = map_{n-1}(map(f)); equivalently map(f) at depth n-1.
+  return mapAtDepth(
+      N - 1, [&](ExprPtr X) { return map(F, std::move(X)); }, std::move(In));
+}
+
+ExprPtr lift::stencil::padNd(unsigned N, AExpr L, AExpr R, Boundary B,
+                             ExprPtr In) {
+  assert(N >= 1 && "padNd needs at least one dimension");
+  // pad_n = map_{n-1}(pad) o pad_{n-1}: pad the outer dimension first,
+  // then each nested dimension underneath the corresponding maps.
+  ExprPtr E = std::move(In);
+  for (unsigned D = 0; D != N; ++D)
+    E = mapAtDepth(
+        D, [&](ExprPtr X) { return pad(L, R, B, std::move(X)); }, E);
+  return E;
+}
+
+ExprPtr lift::stencil::padNdPerDim(unsigned N, AExpr L, AExpr R,
+                                   const std::vector<Boundary> &Bs,
+                                   ExprPtr In) {
+  assert(Bs.size() == N && "one boundary per dimension");
+  ExprPtr E = std::move(In);
+  for (unsigned D = 0; D != N; ++D)
+    E = mapAtDepth(
+        D, [&](ExprPtr X) { return pad(L, R, Bs[D], std::move(X)); }, E);
+  return E;
+}
+
+ExprPtr lift::stencil::slideNd(unsigned N, AExpr Size, AExpr Step,
+                               ExprPtr In) {
+  assert(N >= 1 && "slideNd needs at least one dimension");
+  if (N == 1)
+    return slide(std::move(Size), std::move(Step), std::move(In));
+  // slide_n = reorderDims o slide o map(slide_{n-1}) (paper §3.4).
+  ExprPtr Inner = map(lam("row", [&](ExprPtr Row) {
+                        return slideNd(N - 1, Size, Step, Row);
+                      }),
+                      std::move(In));
+  ExprPtr E = slide(Size, Step, std::move(Inner));
+  // The window dimension created by the outer slide sits at depth 1 and
+  // must sink below the N-1 remaining grid dimensions; each
+  // map^k(transpose) swaps depths k and k+1.
+  for (unsigned K = 1; K != N; ++K)
+    E = mapAtDepth(
+        K, [](ExprPtr X) { return transpose(std::move(X)); }, E);
+  return E;
+}
+
+ExprPtr lift::stencil::stencilNd(unsigned N, LambdaPtr F, AExpr Size,
+                                 AExpr Step, AExpr L, AExpr R, Boundary B,
+                                 ExprPtr In) {
+  return mapNd(N, std::move(F),
+               slideNd(N, std::move(Size), std::move(Step),
+                       padNd(N, std::move(L), std::move(R), B,
+                             std::move(In))));
+}
+
+ExprPtr lift::stencil::zipNd(unsigned N, std::vector<ExprPtr> Arrays) {
+  assert(N >= 1 && Arrays.size() >= 2 && "zipNd needs >=2 arrays");
+  if (N == 1)
+    return zip(std::move(Arrays));
+  std::size_t Count = Arrays.size();
+  ExprPtr Outer = zip(std::move(Arrays));
+  // zip_n = map(\t. zip_{n-1}(t.0, t.1, ...), zip(...)): layout-only.
+  return map(lam("t",
+                 [&](ExprPtr T) {
+                   std::vector<ExprPtr> Comps;
+                   for (std::size_t I = 0; I != Count; ++I)
+                     Comps.push_back(get(int(I), T));
+                   return zipNd(N - 1, std::move(Comps));
+                 }),
+             std::move(Outer));
+}
+
+ExprPtr lift::stencil::atNd(const std::vector<int> &Indices, ExprPtr In) {
+  ExprPtr E = std::move(In);
+  for (int I : Indices)
+    E = at(I, std::move(E));
+  return E;
+}
+
+ExprPtr lift::stencil::flattenNd(unsigned N, ExprPtr In) {
+  assert(N >= 1 && "flattenNd needs at least one dimension");
+  ExprPtr E = std::move(In);
+  for (unsigned I = 1; I != N; ++I)
+    E = join(std::move(E));
+  return E;
+}
+
+ExprPtr lift::stencil::theOne(ExprPtr In) { return at(0, std::move(In)); }
+
+LambdaPtr lift::stencil::sumNeighborhood(unsigned N) {
+  return lam("nbh", [&](ExprPtr Nbh) {
+    return theOne(reduce(etaLambda(ufAddFloat()), lit(0.0f),
+                         flattenNd(N, std::move(Nbh))));
+  });
+}

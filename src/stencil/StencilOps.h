@@ -1,0 +1,90 @@
+//===- StencilOps.h - Multi-dimensional stencil builders -------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-dimensional stencil construction (paper §3.4): `padNd`,
+/// `slideNd` and `mapNd` are *compositions* of the 1D primitives — the
+/// paper's central point is that no n-dimensional primitives are needed.
+///
+///   padNd(n)  = pads every dimension by nesting `map(pad(...))`
+///   slideNd(n)= slides every dimension and reorders the window
+///               dimensions innermost with `map^k(transpose)`
+///   mapNd(n)  = n nested maps applying the stencil function to each
+///               n-dimensional neighborhood
+///
+/// `stencilNd` composes the three into the canonical shape
+/// mapNd(f, slideNd(size, step, padNd(l, r, h, input))).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_STENCIL_STENCILOPS_H
+#define LIFT_STENCIL_STENCILOPS_H
+
+#include "ir/Expr.h"
+
+#include <functional>
+
+namespace lift {
+namespace stencil {
+
+/// Applies \p F underneath \p Depth nested maps: depth 0 is F(In),
+/// depth 1 is map(\x. F(x), In), and so on.
+ir::ExprPtr mapAtDepth(unsigned Depth,
+                       const std::function<ir::ExprPtr(ir::ExprPtr)> &F,
+                       ir::ExprPtr In);
+
+/// n nested maps: applies \p F to every element at nesting depth \p N
+/// of the input (paper: map_n).
+ir::ExprPtr mapNd(unsigned N, ir::LambdaPtr F, ir::ExprPtr In);
+
+/// Pads all \p N dimensions by l/r with the same boundary handling
+/// (paper: pad_n).
+ir::ExprPtr padNd(unsigned N, AExpr L, AExpr R, ir::Boundary B,
+                  ir::ExprPtr In);
+
+/// Pads with a *different* boundary handling per dimension
+/// (paper §3.4: "It is straightforward — and supported by our
+/// implementation — to do different boundary handlings in each
+/// dimension"). \p Bs[d] applies to dimension d (outermost first).
+ir::ExprPtr padNdPerDim(unsigned N, AExpr L, AExpr R,
+                        const std::vector<ir::Boundary> &Bs,
+                        ir::ExprPtr In);
+
+/// Creates \p N-dimensional neighborhoods of extent size^N (paper:
+/// slide_n). The result nests the N grid dimensions outermost and the N
+/// window dimensions innermost.
+ir::ExprPtr slideNd(unsigned N, AExpr Size, AExpr Step, ir::ExprPtr In);
+
+/// The canonical n-dimensional stencil shape (paper §3.4):
+/// mapNd(f, slideNd(size, step, padNd(l, r, b, input))).
+ir::ExprPtr stencilNd(unsigned N, ir::LambdaPtr F, AExpr Size, AExpr Step,
+                      AExpr L, AExpr R, ir::Boundary B, ir::ExprPtr In);
+
+/// Element-wise zip of \p N-dimensional arrays: produces an
+/// n-dimensional array of tuples, built by composing 1D zips with maps
+/// (used by the two-grid benchmarks, e.g. the acoustic simulation's
+/// zip3 in paper Listing 3).
+ir::ExprPtr zipNd(unsigned N, std::vector<ir::ExprPtr> Arrays);
+
+/// in[i0][i1]...[ik] with constant indices.
+ir::ExprPtr atNd(const std::vector<int> &Indices, ir::ExprPtr In);
+
+/// Flattens an \p N-dimensional array to 1D by N-1 joins.
+ir::ExprPtr flattenNd(unsigned N, ir::ExprPtr In);
+
+/// at(0, e): extracts the single element of an [T]1 array, e.g. a
+/// reduce result.
+ir::ExprPtr theOne(ir::ExprPtr In);
+
+/// A lambda summing all scalars of an \p N-dimensional neighborhood:
+/// \nbh. at(0, reduce(addF, 0.0f, flatten(nbh))).
+ir::LambdaPtr sumNeighborhood(unsigned N);
+
+} // namespace stencil
+} // namespace lift
+
+#endif // LIFT_STENCIL_STENCILOPS_H

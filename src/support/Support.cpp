@@ -1,0 +1,19 @@
+//===- Support.cpp - Common support utilities ----------------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Support.h"
+
+#include <cstdio>
+
+void lift::fatalError(const std::string &Message) {
+  std::fprintf(stderr, "lift fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void lift::unreachable(const char *Message) {
+  std::fprintf(stderr, "lift unreachable: %s\n", Message);
+  std::abort();
+}

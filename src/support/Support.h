@@ -1,0 +1,91 @@
+//===- Support.h - Common support utilities -------------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small project-wide utilities: fatal-error reporting, unreachable
+/// markers, hashing helpers, and a deterministic random number source
+/// used by property tests and the tuner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_SUPPORT_SUPPORT_H
+#define LIFT_SUPPORT_SUPPORT_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+namespace lift {
+
+/// Reports an unrecoverable usage or internal error and terminates.
+///
+/// Library code uses this only for broken invariants that indicate a bug
+/// in the caller (malformed IR, ill-typed expressions); it never fires on
+/// valid programs.
+[[noreturn]] void fatalError(const std::string &Message);
+
+/// Marks a code path that must be unreachable when program invariants
+/// hold. Prints \p Message and aborts.
+[[noreturn]] void unreachable(const char *Message);
+
+/// Combines a new value into a running hash (boost::hash_combine-style).
+inline std::size_t hashCombine(std::size_t Seed, std::size_t Value) {
+  return Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+/// Mathematical floor division (rounds toward negative infinity).
+///
+/// All symbolic index arithmetic in the compiler uses floor semantics so
+/// that algebraic simplification identities hold for every operand sign.
+inline std::int64_t floorDivInt(std::int64_t A, std::int64_t B) {
+  std::int64_t Quotient = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Quotient;
+  return Quotient;
+}
+
+/// Mathematical floor modulo; the result has the sign of \p B.
+inline std::int64_t floorModInt(std::int64_t A, std::int64_t B) {
+  return A - floorDivInt(A, B) * B;
+}
+
+/// A deterministic random source with convenience helpers.
+///
+/// Used by property tests (seeded per test) and the tuner's random
+/// search so every run is reproducible.
+class RandomSource {
+public:
+  explicit RandomSource(std::uint64_t Seed) : Engine(Seed) {}
+
+  /// Returns a uniform integer in [Lo, Hi] (inclusive).
+  std::int64_t nextInt(std::int64_t Lo, std::int64_t Hi) {
+    std::uniform_int_distribution<std::int64_t> Dist(Lo, Hi);
+    return Dist(Engine);
+  }
+
+  /// Returns a uniform float in [Lo, Hi).
+  float nextFloat(float Lo, float Hi) {
+    std::uniform_real_distribution<float> Dist(Lo, Hi);
+    return Dist(Engine);
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P = 0.5) {
+    std::bernoulli_distribution Dist(P);
+    return Dist(Engine);
+  }
+
+  std::mt19937_64 &engine() { return Engine; }
+
+private:
+  std::mt19937_64 Engine;
+};
+
+} // namespace lift
+
+#endif // LIFT_SUPPORT_SUPPORT_H

@@ -1,0 +1,210 @@
+//===- Tuner.cpp - Constraint-aware auto-tuning --------------------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/Tuner.h"
+
+#include "codegen/Runner.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace lift;
+using namespace lift::ocl;
+using namespace lift::tuner;
+using namespace lift::stencil;
+using lift::rewrite::LoweringOptions;
+
+std::string Candidate::describe() const {
+  return Options.describe() + "/wg" + std::to_string(Launch.WorkGroupSize);
+}
+
+TuningSpace lift::tuner::liftSpace() { return TuningSpace(); }
+
+TuningSpace lift::tuner::ppcgSpace() {
+  TuningSpace S;
+  S.AllowUntiled = false;
+  S.AllowTiling = true;
+  S.AllowLocalMem = true;
+  S.LocalMemOnly = true; // PPCG always stages tiles in shared memory
+  S.AllowUnroll = false;
+  S.TileOutputs = {8, 16, 32, 64};
+  S.TileCoarsenFactors = {1, 2, 4, 8, 16};
+  return S;
+}
+
+TuningProblem lift::tuner::makeProblem(const Benchmark &B, bool LargeTarget) {
+  TuningProblem P;
+  P.B = &B;
+  P.Measure = B.MeasureExtents;
+  P.Target = LargeTarget && !B.LargeExtents.empty() ? B.LargeExtents
+                                                    : B.SmallExtents;
+  P.Inputs = makeBenchmarkInputs(B, P.Measure);
+  return P;
+}
+
+namespace {
+
+/// The modeled cache is shrunk by the working-set ratio so reuse
+/// behaves at measurement scale as it would at target scale: a d-dim
+/// stencil's reuse window spans a few rows/planes whose footprint
+/// scales with the product of the d-1 fastest dimensions.
+CacheConfig scaledCache(const CacheConfig &Base, const Extents &Measure,
+                        const Extents &Target) {
+  double Scale = 1.0;
+  for (std::size_t D = 1; D < Measure.size(); ++D)
+    Scale *= double(Measure[D]) / double(Target[D]);
+  CacheConfig C = Base;
+  std::int64_t MinBytes = std::int64_t(C.LineBytes) * C.Ways * 4;
+  C.TotalBytes = std::max<std::int64_t>(
+      MinBytes, std::int64_t(double(C.TotalBytes) * Scale));
+  return C;
+}
+
+ExecCounters scaleCounters(const ExecCounters &C, double S) {
+  ExecCounters R;
+  auto Scale = [S](std::uint64_t V) {
+    return std::uint64_t(std::llround(double(V) * S));
+  };
+  R.GlobalLoads = Scale(C.GlobalLoads);
+  R.GlobalStores = Scale(C.GlobalStores);
+  R.GlobalLoadLineMisses = Scale(C.GlobalLoadLineMisses);
+  R.LocalLoads = Scale(C.LocalLoads);
+  R.LocalStores = Scale(C.LocalStores);
+  R.PrivateAccesses = Scale(C.PrivateAccesses);
+  R.Flops = Scale(C.Flops);
+  R.UserFunCalls = Scale(C.UserFunCalls);
+  R.LoopIterations = Scale(C.LoopIterations);
+  R.Barriers = Scale(C.Barriers);
+  R.SelectEvals = Scale(C.SelectEvals);
+  return R;
+}
+
+bool dividesAll(std::int64_t V, const Extents &E) {
+  for (std::int64_t X : E)
+    if (X % V != 0)
+      return false;
+  return true;
+}
+
+} // namespace
+
+Evaluated lift::tuner::evaluateCandidate(const TuningProblem &P,
+                                         const DeviceSpec &Dev,
+                                         const Candidate &C) {
+  Evaluated R;
+  R.C = C;
+
+  const Benchmark &B = *P.B;
+  const LoweringOptions &O = C.Options;
+
+  // Structural constraints.
+  if (O.Tile) {
+    if (O.TileOutputs % B.WindowStep != 0)
+      return R;
+    if (!dividesAll(O.TileOutputs, P.Measure) ||
+        !dividesAll(O.TileOutputs, P.Target))
+      return R;
+    if (O.TileCoarsen > 1 && O.TileOutputs % O.TileCoarsen != 0)
+      return R;
+    // Local tile must fit the device's local memory.
+    if (O.UseLocalMem) {
+      double TileExtent =
+          double(O.TileOutputs + B.WindowSize - B.WindowStep);
+      double Bytes = 4.0 * std::pow(TileExtent, double(B.Dims));
+      if (Bytes > double(Dev.LocalMemPerCU))
+        return R;
+    }
+  } else if (O.Coarsen > 1) {
+    if (P.Measure.back() % O.Coarsen != 0 || P.Target.back() % O.Coarsen != 0)
+      return R;
+  }
+
+  BenchmarkInstance I = B.Build();
+  ir::Program Low = rewrite::lowerStencil(I.P, O);
+  if (!Low)
+    return R;
+
+  codegen::Compiled Compiled = codegen::compileProgram(Low, B.Name);
+  CacheConfig Cache = scaledCache(Dev.Cache, P.Measure, P.Target);
+
+  auto MeasureEnv = makeSizeEnv(I, P.Measure);
+  codegen::RunResult Run =
+      codegen::runCompiled(Compiled, P.Inputs, MeasureEnv, Cache);
+
+  double CountScale =
+      double(totalElems(P.Target)) / double(totalElems(P.Measure));
+  ExecCounters Scaled = scaleCounters(Run.Counters, CountScale);
+
+  auto TargetEnv = makeSizeEnv(I, P.Target);
+  NDRangeInfo ND = analyzeNDRange(Compiled.K, TargetEnv);
+
+  R.T = estimateTime(Dev, Scaled, ND, C.Launch);
+  R.Valid = true;
+  R.GElemsPerSec = double(totalElems(P.Target)) / R.T.Total / 1e9;
+  return R;
+}
+
+TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
+                                    const DeviceSpec &Dev,
+                                    const TuningSpace &Space) {
+  std::vector<Candidate> Candidates;
+
+  std::vector<bool> Unrolls = {false};
+  if (Space.AllowUnroll)
+    Unrolls.push_back(true);
+
+  if (Space.AllowUntiled) {
+    for (std::int64_t Coarsen : Space.CoarsenFactors)
+      for (std::int64_t Wg : Space.WorkGroupSizes)
+        for (bool Unroll : Unrolls) {
+          Candidate C;
+          C.Options.Tile = false;
+          C.Options.Coarsen = Coarsen;
+          C.Options.UnrollReduce = Unroll;
+          C.Launch.WorkGroupSize = Wg;
+          Candidates.push_back(C);
+        }
+  }
+
+  if (Space.AllowTiling) {
+    std::vector<bool> Locals;
+    if (!Space.LocalMemOnly)
+      Locals.push_back(false);
+    if (Space.AllowLocalMem)
+      Locals.push_back(true);
+    for (std::int64_t V : Space.TileOutputs)
+      for (bool Local : Locals)
+        for (std::int64_t TC : Space.TileCoarsenFactors)
+          for (bool Unroll : Unrolls) {
+            Candidate C;
+            C.Options.Tile = true;
+            C.Options.TileOutputs = V;
+            C.Options.UseLocalMem = Local;
+            C.Options.TileCoarsen = TC;
+            C.Options.UnrollReduce = Unroll;
+            // Work-group geometry of tiled kernels comes from the tile
+            // shape; the launch knob is unused.
+            Candidates.push_back(C);
+          }
+  }
+
+  TuneResult Result;
+  double BestTime = 0;
+  for (const Candidate &C : Candidates) {
+    Evaluated E = evaluateCandidate(P, Dev, C);
+    if (!E.Valid)
+      continue;
+    Result.All.push_back(E);
+    if (!Result.Best.Valid || E.T.Total < BestTime) {
+      Result.Best = E;
+      BestTime = E.T.Total;
+    }
+  }
+  if (!Result.Best.Valid)
+    fatalError("tuner: no valid candidate for " + P.B->Name);
+  return Result;
+}

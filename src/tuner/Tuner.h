@@ -1,0 +1,113 @@
+//===- Tuner.h - Constraint-aware auto-tuning ------------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The auto-tuning substrate standing in for ATF + OpenTuner (paper
+/// §6): enumerates the implementation space spanned by the lowering
+/// options (tiling on/off + tile size, local memory, unrolling, thread
+/// coarsening) and launch parameters (work-group size), subject to
+/// OpenCL-style constraints (divisibility of grid extents, local-memory
+/// capacity, tile/step alignment), and picks the variant with the best
+/// predicted runtime on a given device model.
+///
+/// Evaluation protocol: each candidate is lowered, compiled once and
+/// *executed* on the instrumented simulator over a reduced measurement
+/// grid; measured event counts are scaled per-element to the paper's
+/// target grid, the modeled cache is scaled by the working-set ratio
+/// (a stencil's reuse window grows with the fast dimensions), and the
+/// device timing model converts counts into a predicted runtime.
+/// Simulation is deterministic, so unlike the paper's three hours of
+/// wall-clock tuning per benchmark, exhaustive search is exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_TUNER_TUNER_H
+#define LIFT_TUNER_TUNER_H
+
+#include "ocl/Device.h"
+#include "rewrite/Lowering.h"
+#include "stencil/Benchmarks.h"
+
+namespace lift {
+namespace tuner {
+
+/// One point of the search space: IR-level options + launch knobs.
+struct Candidate {
+  rewrite::LoweringOptions Options;
+  ocl::LaunchParams Launch;
+
+  /// e.g. "tiled16-local/wg128".
+  std::string describe() const;
+};
+
+/// The dimensions of the search space. The default space is Lift's;
+/// ppcgSpace() restricts it to PPCG's always-tiled schedules.
+struct TuningSpace {
+  bool AllowUntiled = true;
+  bool AllowTiling = true;
+  bool AllowLocalMem = true;
+  /// Generate only local-memory-staged tiled variants (PPCG's default
+  /// schedule always stages tiles in shared memory).
+  bool LocalMemOnly = false;
+  bool AllowUnroll = true;
+  // Lift's space strictly contains PPCG's tiled schedules, so tuned
+  // Lift can never lose to tuned PPCG — as in the paper.
+  std::vector<std::int64_t> TileOutputs = {8, 16, 32, 64};
+  std::vector<std::int64_t> TileCoarsenFactors = {1, 2, 4, 8, 16};
+  std::vector<std::int64_t> CoarsenFactors = {1, 2, 4};
+  std::vector<std::int64_t> WorkGroupSizes = {64, 128, 256};
+};
+
+/// Lift's full space.
+TuningSpace liftSpace();
+
+/// A PPCG-like space: rectangular overlapped tiling with shared-memory
+/// staging is always applied (the polyhedral default schedule), with
+/// tile sizes and per-thread sequential work tunable, but no untiled
+/// alternative.
+TuningSpace ppcgSpace();
+
+/// A tuning task: one benchmark at one target size.
+struct TuningProblem {
+  const stencil::Benchmark *B = nullptr;
+  stencil::Extents Measure; ///< reduced grid executed on the simulator
+  stencil::Extents Target;  ///< the paper's grid (counts scaled to it)
+  std::vector<std::vector<float>> Inputs; ///< measurement inputs
+};
+
+/// Builds a problem for the benchmark's small or large target size.
+TuningProblem makeProblem(const stencil::Benchmark &B, bool LargeTarget);
+
+/// One evaluated candidate.
+struct Evaluated {
+  Candidate C;
+  ocl::Timing T;
+  bool Valid = false;
+  /// Giga grid-point updates per second at the target size (the
+  /// paper's Figure 7 metric).
+  double GElemsPerSec = 0.0;
+};
+
+/// Result of a search.
+struct TuneResult {
+  Evaluated Best;
+  std::vector<Evaluated> All; ///< every valid evaluated candidate
+};
+
+/// Evaluates one candidate (used directly for the fixed, untuned
+/// hand-written reference configurations).
+Evaluated evaluateCandidate(const TuningProblem &P,
+                            const ocl::DeviceSpec &Dev, const Candidate &C);
+
+/// Exhaustively searches \p Space for the fastest predicted variant.
+TuneResult tuneStencil(const TuningProblem &P, const ocl::DeviceSpec &Dev,
+                       const TuningSpace &Space);
+
+} // namespace tuner
+} // namespace lift
+
+#endif // LIFT_TUNER_TUNER_H

@@ -1,0 +1,85 @@
+//===- ReferencesTest.cpp - Reference baseline validity -------------------===//
+//
+// Part of the liftcpp project.
+//
+// The Figure 7 comparison is only meaningful if every modeled reference
+// kernel actually lowers, compiles and runs. This locks that in for all
+// three devices, and pins the structural choices each reference model
+// makes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/References.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::stencil;
+using namespace lift::tuner;
+using namespace lift::baselines;
+
+namespace {
+
+class ReferenceValidity : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ReferenceValidity, EvaluatesOnEveryDevice) {
+  const Benchmark &B = findBenchmark(GetParam());
+  TuningProblem P = makeProblem(B, /*LargeTarget=*/false);
+  Candidate C = referenceCandidate(B);
+  for (const ocl::DeviceSpec &Dev : ocl::paperDevices()) {
+    Evaluated E = evaluateCandidate(P, Dev, C);
+    ASSERT_TRUE(E.Valid) << B.Name << " on " << Dev.Name;
+    EXPECT_GT(E.GElemsPerSec, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure7Set, ReferenceValidity,
+    ::testing::Values("Stencil2D", "SRAD1", "SRAD2", "Hotspot2D",
+                      "Hotspot3D", "Acoustic"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      return std::string(Info.param);
+    });
+
+TEST(References, StructuralChoices) {
+  // SHOC stencil2d: a plain global kernel with the halo loop unrolled.
+  Candidate S2D = referenceCandidate(findBenchmark("Stencil2D"));
+  EXPECT_FALSE(S2D.Options.Tile);
+  EXPECT_TRUE(S2D.Options.UnrollReduce);
+  EXPECT_EQ(S2D.Launch.WorkGroupSize, 256);
+
+  // Rodinia hotspot: the fixed 16x16 shared-memory tile kernel.
+  Candidate HS = referenceCandidate(findBenchmark("Hotspot2D"));
+  EXPECT_TRUE(HS.Options.Tile);
+  EXPECT_EQ(HS.Options.TileOutputs, 16);
+  EXPECT_TRUE(HS.Options.UseLocalMem);
+
+  // Rodinia hotspot3D: global with 2-point thread coarsening.
+  Candidate HS3 = referenceCandidate(findBenchmark("Hotspot3D"));
+  EXPECT_FALSE(HS3.Options.Tile);
+  EXPECT_EQ(HS3.Options.Coarsen, 2);
+}
+
+TEST(References, TunedLiftNeverLosesToReference) {
+  // Figure 7's invariant: the references are points inside Lift's
+  // space, so tuned Lift is at least as fast everywhere.
+  for (const char *Name : {"Stencil2D", "SRAD1", "Hotspot2D"}) {
+    const Benchmark &B = findBenchmark(Name);
+    TuningProblem P = makeProblem(B, false);
+    Candidate Ref = referenceCandidate(B);
+    for (const ocl::DeviceSpec &Dev : ocl::paperDevices()) {
+      Evaluated ERef = evaluateCandidate(P, Dev, Ref);
+      ASSERT_TRUE(ERef.Valid);
+      TuningSpace Trim = liftSpace(); // keep the test quick
+      Trim.TileOutputs = {16, 32};
+      Trim.CoarsenFactors = {1, 2};
+      Trim.WorkGroupSizes = {128, 256};
+      Trim.AllowUnroll = true;
+      TuneResult R = tuneStencil(P, Dev, Trim);
+      EXPECT_GE(R.Best.GElemsPerSec * 1.0001, ERef.GElemsPerSec)
+          << Name << " on " << Dev.Name;
+    }
+  }
+}
+
+} // namespace

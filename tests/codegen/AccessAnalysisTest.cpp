@@ -1,0 +1,130 @@
+//===- AccessAnalysisTest.cpp - Coalescing analysis tests -----------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/AccessAnalysis.h"
+#include "codegen/CodeGen.h"
+#include "rewrite/Lowering.h"
+#include "stencil/Benchmarks.h"
+#include "stencil/StencilOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ocl;
+using namespace lift::stencil;
+using namespace lift::rewrite;
+using namespace lift::codegen;
+
+namespace {
+
+AExpr sizeVar(const char *Name) { return var(Name, Range(1, 1 << 30)); }
+
+TEST(AccessAnalysis, RowMajorStencilIsCoalesced) {
+  // The code generator assigns the innermost array dimension to
+  // get_global_id(0); all loads/stores of a 2D stencil must be
+  // coalesced along it.
+  const Benchmark &B = findBenchmark("Jacobi2D5pt");
+  BenchmarkInstance I = B.Build();
+  LoweringOptions O;
+  Compiled C = compileProgram(lowerStencil(I.P, O), "j2d");
+  AccessReport R = analyzeAccesses(C.K, makeSizeEnv(I, {64, 64}));
+  ASSERT_FALSE(R.Sites.empty());
+  EXPECT_TRUE(R.fullyCoalesced());
+  // 5 loads + 1 store, all stride 1.
+  EXPECT_EQ(R.count(AccessPattern::Coalesced), 6);
+}
+
+TEST(AccessAnalysis, TransposedReadIsStrided) {
+  // mapGlb over the transpose of a 2D array: lanes walk a column, so
+  // consecutive lanes touch elements a full row apart.
+  AExpr N = sizeVar("n");
+  AExpr M = sizeVar("m");
+  ParamPtr A = param("A", arrayT(arrayT(floatT(), M), N));
+  Program P = makeProgram(
+      {A}, mapGlb(1, lam("row", [](ExprPtr Row) {
+             return mapGlb(0, etaLambda(ufIdFloat()), Row);
+           }),
+           transpose(A)));
+  Compiled C = compileProgram(P, "tr");
+  SizeEnv Sizes{{N->getVarId(), 64}, {M->getVarId(), 32}};
+  AccessReport R = analyzeAccesses(C.K, Sizes);
+  ASSERT_FALSE(R.Sites.empty());
+  bool FoundStrided = false;
+  for (const AccessSite &S : R.Sites)
+    if (!S.IsStore && S.Pattern == AccessPattern::Strided) {
+      FoundStrided = true;
+      EXPECT_EQ(S.Stride, 32); // one row of the source per lane
+    }
+  EXPECT_TRUE(FoundStrided);
+  EXPECT_FALSE(R.fullyCoalesced());
+}
+
+TEST(AccessAnalysis, BroadcastIsUniform) {
+  // Every lane reads element 0: a uniform (broadcast) access.
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  ParamPtr B = param("B", arrayT(floatT(), N));
+  Program P = makeProgram(
+      {A, B}, mapGlb(0, lam("x", [&](ExprPtr X) {
+                return ir::apply(ufAddFloat(), {X, at(0, B)});
+              }),
+              A));
+  Compiled C = compileProgram(P, "bc");
+  SizeEnv Sizes{{N->getVarId(), 64}};
+  AccessReport R = analyzeAccesses(C.K, Sizes);
+  EXPECT_EQ(R.count(AccessPattern::Uniform), 1);
+  EXPECT_EQ(R.count(AccessPattern::Coalesced), 2); // A load + store
+}
+
+TEST(AccessAnalysis, SequentialLoopsHaveNoLaneDimension) {
+  // A purely sequential kernel (no parallel dim-0 loop in scope).
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram(
+      {A}, mapSeq(lam("x", [](ExprPtr X) {
+             return ir::apply(ufMultFloat(), {X, lit(2.0f)});
+           }),
+           A));
+  Compiled C = compileProgram(P, "seq");
+  AccessReport R = analyzeAccesses(C.K, {{N->getVarId(), 16}});
+  EXPECT_EQ(R.count(AccessPattern::Sequential), int(R.Sites.size()));
+}
+
+TEST(AccessAnalysis, TiledLocalKernelKeepsGlobalTrafficCoalesced) {
+  // In the tiled+local variant the only global traffic is the staging
+  // copy and the final store; both must stay coalesced.
+  const Benchmark &B = findBenchmark("Jacobi2D9pt");
+  BenchmarkInstance I = B.Build();
+  LoweringOptions O;
+  O.Tile = true;
+  O.TileOutputs = 8;
+  O.UseLocalMem = true;
+  Compiled C = compileProgram(lowerStencil(I.P, O), "j2dtl");
+  AccessReport R = analyzeAccesses(C.K, makeSizeEnv(I, {64, 64}));
+  ASSERT_FALSE(R.Sites.empty());
+  EXPECT_TRUE(R.fullyCoalesced()) << "tiled kernels must stage and store "
+                                     "with unit-stride lanes";
+}
+
+TEST(AccessAnalysis, CoarsenedChunksAreStridedPerLane) {
+  // With split(c)-based coarsening each lane owns a contiguous chunk,
+  // so lane-adjacent accesses are c elements apart — the classic
+  // coalescing pitfall of blocked distributions.
+  const Benchmark &B = findBenchmark("Jacobi2D5pt");
+  BenchmarkInstance I = B.Build();
+  LoweringOptions O;
+  O.Coarsen = 4;
+  Compiled C = compileProgram(lowerStencil(I.P, O), "j2dc");
+  AccessReport R = analyzeAccesses(C.K, makeSizeEnv(I, {64, 64}));
+  EXPECT_FALSE(R.fullyCoalesced());
+  bool Found4 = false;
+  for (const AccessSite &S : R.Sites)
+    Found4 |= S.Pattern == AccessPattern::Strided && S.Stride == 4;
+  EXPECT_TRUE(Found4);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- InterpreterTest.cpp - Unit tests for the interpreter --------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "stencil/StencilOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::interp;
+using namespace lift::stencil;
+
+namespace {
+
+/// Helper: builds a program over one 1D float input of symbolic size n
+/// and evaluates it on \p Data.
+std::vector<float> run1D(const std::function<ExprPtr(ParamPtr)> &Build,
+                         const std::vector<float> &Data) {
+  AExpr N = var("n", Range(1, 1 << 30));
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram({A}, Build(A));
+  SizeEnv Sizes{{N->getVarId(), std::int64_t(Data.size())}};
+  Value Out = evalProgram(P, {makeFloatArray(Data)}, Sizes);
+  std::vector<float> Flat;
+  flattenValue(Out, Flat);
+  return Flat;
+}
+
+TEST(Interpreter, MapAppliesFunction) {
+  auto Out = run1D(
+      [](ParamPtr A) {
+        return map(lam("x", [](ExprPtr X) {
+                     return apply(ufAddFloat(), {X, lit(10.0f)});
+                   }),
+                   A);
+      },
+      {1, 2, 3});
+  EXPECT_EQ(Out, (std::vector<float>{11, 12, 13}));
+}
+
+TEST(Interpreter, ReduceSums) {
+  auto Out = run1D(
+      [](ParamPtr A) {
+        return reduce(etaLambda(ufAddFloat()), lit(0.0f), A);
+      },
+      {1, 2, 3, 4});
+  EXPECT_EQ(Out, (std::vector<float>{10}));
+}
+
+TEST(Interpreter, SplitChunksAndJoinRestores) {
+  auto Out = run1D([](ParamPtr A) { return join(split(cst(2), A)); },
+                   {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(Out, (std::vector<float>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Interpreter, SlideCreatesOverlappingWindows) {
+  // Paper Figure 3 step 2: slide(3, 1) groups neighborhoods.
+  auto Out = run1D([](ParamPtr A) { return slide(cst(3), cst(1), A); },
+                   {0, 1, 2, 3});
+  // Windows: [0,1,2], [1,2,3]
+  EXPECT_EQ(Out, (std::vector<float>{0, 1, 2, 1, 2, 3}));
+}
+
+TEST(Interpreter, SlideWithStepThree) {
+  // Listing 4 tiles: slide(5, 3) over 11 elements -> 3 tiles.
+  std::vector<float> In(11);
+  for (std::size_t I = 0; I != In.size(); ++I)
+    In[I] = float(I);
+  auto Out = run1D([](ParamPtr A) { return slide(cst(5), cst(3), A); }, In);
+  EXPECT_EQ(Out, (std::vector<float>{0, 1, 2, 3, 4, //
+                                     3, 4, 5, 6, 7, //
+                                     6, 7, 8, 9, 10}));
+}
+
+TEST(Interpreter, PadClampRepeatsEdges) {
+  // Paper §3.2: pad(2, 3, clamp, input) repeats boundary values.
+  auto Out = run1D(
+      [](ParamPtr A) { return pad(cst(2), cst(3), Boundary::clamp(), A); },
+      {1, 2, 3});
+  EXPECT_EQ(Out, (std::vector<float>{1, 1, 1, 2, 3, 3, 3, 3}));
+}
+
+TEST(Interpreter, PadMirrorReflects) {
+  auto Out = run1D(
+      [](ParamPtr A) { return pad(cst(2), cst(2), Boundary::mirror(), A); },
+      {1, 2, 3});
+  EXPECT_EQ(Out, (std::vector<float>{2, 1, 1, 2, 3, 3, 2}));
+}
+
+TEST(Interpreter, PadWrapRotates) {
+  auto Out = run1D(
+      [](ParamPtr A) { return pad(cst(1), cst(1), Boundary::wrap(), A); },
+      {1, 2, 3});
+  EXPECT_EQ(Out, (std::vector<float>{3, 1, 2, 3, 1}));
+}
+
+TEST(Interpreter, PadConstantAppends) {
+  auto Out = run1D(
+      [](ParamPtr A) {
+        return pad(cst(1), cst(2), Boundary::constant(9.0f), A);
+      },
+      {1, 2, 3});
+  EXPECT_EQ(Out, (std::vector<float>{9, 1, 2, 3, 9, 9}));
+}
+
+TEST(Interpreter, ZipAndGet) {
+  AExpr N = var("n", Range(1, 1 << 30));
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  ParamPtr B = param("B", arrayT(floatT(), N));
+  // map(\t. t.0 * t.1, zip(A, B))
+  Program P = makeProgram(
+      {A, B}, map(lam("t", [](ExprPtr T) {
+                    return apply(ufMultFloat(), {get(0, T), get(1, T)});
+                  }),
+                  zip(A, B)));
+  SizeEnv Sizes{{N->getVarId(), 3}};
+  Value Out = evalProgram(
+      P, {makeFloatArray({1, 2, 3}), makeFloatArray({4, 5, 6})}, Sizes);
+  std::vector<float> Flat;
+  flattenValue(Out, Flat);
+  EXPECT_EQ(Flat, (std::vector<float>{4, 10, 18}));
+}
+
+TEST(Interpreter, IterateAppliesRepeatedly) {
+  auto Out = run1D(
+      [](ParamPtr A) {
+        return iterate(3, lam("xs", [](ExprPtr Xs) {
+                         return map(lam("x",
+                                        [](ExprPtr X) {
+                                          return apply(ufMultFloat(),
+                                                       {X, lit(2.0f)});
+                                        }),
+                                    Xs);
+                       }),
+                       A);
+      },
+      {1, 2});
+  EXPECT_EQ(Out, (std::vector<float>{8, 16}));
+}
+
+TEST(Interpreter, GenerateBuildsIndexGrid) {
+  AExpr N = var("n", Range(1, 1 << 30));
+  ParamPtr Dummy = param("D", arrayT(floatT(), N));
+  // generate 2x3 grid of i*10+j as ints
+  UserFunPtr Enc = makeUserFun(
+      "enc", {"i", "j"}, {ScalarKind::Int, ScalarKind::Int}, ScalarKind::Int,
+      "return i * 10 + j;", [](const std::vector<Scalar> &Args) {
+        return Scalar(std::int32_t(Args[0].I * 10 + Args[1].I));
+      });
+  Program P = makeProgram(
+      {Dummy}, generate({cst(2), cst(3)}, lam2("i", "j",
+                                               [&](ExprPtr I, ExprPtr J) {
+                                                 return apply(Enc, {I, J});
+                                               })));
+  SizeEnv Sizes{{N->getVarId(), 1}};
+  Value Out = evalProgram(P, {makeFloatArray({0})}, Sizes);
+  std::vector<float> Flat;
+  flattenValue(Out, Flat);
+  EXPECT_EQ(Flat, (std::vector<float>{0, 1, 2, 10, 11, 12}));
+}
+
+TEST(Interpreter, TransposeSwapsIndices) {
+  AExpr N = var("n", Range(1, 1 << 30));
+  AExpr M = var("m", Range(1, 1 << 30));
+  ParamPtr A = param("A", arrayT(arrayT(floatT(), M), N));
+  Program P = makeProgram({A}, transpose(A));
+  SizeEnv Sizes{{N->getVarId(), 2}, {M->getVarId(), 3}};
+  Value Out =
+      evalProgram(P, {makeFloatArray2D({1, 2, 3, 4, 5, 6}, 2, 3)}, Sizes);
+  std::vector<float> Flat;
+  flattenValue(Out, Flat);
+  EXPECT_EQ(Flat, (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(Interpreter, NestedLambdaShadowing) {
+  // The same parameter name in nested lambdas must not collide: the
+  // interpreter binds by node identity, not by name. Both the outer map
+  // parameter and the reduce element parameter are called "x".
+  auto Out = run1D(
+      [](ParamPtr A) {
+        return map(
+            lam("x",
+                [](ExprPtr Window) {
+                  ExprPtr Sum =
+                      theOne(reduce(lam2("acc", "x",
+                                         [](ExprPtr Acc, ExprPtr X) {
+                                           return apply(ufAddFloat(),
+                                                        {Acc, X});
+                                         }),
+                                    lit(0.0f), Window));
+                  return apply(ufAddFloat(), {at(0, Window), Sum});
+                }),
+            slide(cst(2), cst(1), A));
+      },
+      {1, 2, 3});
+  // Windows [1,2] and [2,3]: first + sum = 1+3 and 2+5.
+  EXPECT_EQ(Out, (std::vector<float>{4, 7}));
+}
+
+} // namespace

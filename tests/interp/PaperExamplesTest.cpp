@@ -1,0 +1,325 @@
+//===- PaperExamplesTest.cpp - The paper's worked examples ---------------===//
+//
+// Part of the liftcpp project.
+//
+// Executable versions of the examples worked through in the paper:
+// Listing 1/2 (3-point Jacobi in C vs Lift), the pad2 and slide2
+// expansion examples of §3.4, and the overlapped-tiling Listing 4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "stencil/StencilOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::interp;
+using namespace lift::stencil;
+
+namespace {
+
+/// Paper Listing 1: the C reference for the 3-point Jacobi stencil with
+/// clamping boundaries.
+std::vector<float> listing1Reference(const std::vector<float> &A) {
+  std::int64_t N = std::int64_t(A.size());
+  std::vector<float> B(A.size());
+  for (std::int64_t I = 0; I != N; ++I) {
+    float Sum = 0;
+    for (std::int64_t J = -1; J <= 1; ++J) {
+      std::int64_t Pos = I + J;
+      Pos = Pos < 0 ? 0 : Pos;
+      Pos = Pos > N - 1 ? N - 1 : Pos;
+      Sum += A[std::size_t(Pos)];
+    }
+    B[std::size_t(I)] = Sum;
+  }
+  return B;
+}
+
+/// Paper Listing 2: map(sumNbh, slide(3, 1, pad(1, 1, clamp, A))).
+Program listing2Program(ParamPtr A) {
+  LambdaPtr SumNbh = lam("nbh", [](ExprPtr Nbh) {
+    return theOne(reduce(etaLambda(ufAddFloat()), lit(0.0f), Nbh));
+  });
+  return makeProgram(
+      {A},
+      map(SumNbh,
+          slide(cst(3), cst(1), pad(cst(1), cst(1), Boundary::clamp(), A))));
+}
+
+TEST(PaperExamples, Listing2MatchesListing1) {
+  std::vector<float> In{3, 1, 4, 1, 5, 9, 2, 6};
+  AExpr N = var("n", Range(1, 1 << 30));
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = listing2Program(A);
+
+  SizeEnv Sizes{{N->getVarId(), std::int64_t(In.size())}};
+  Value Out = evalProgram(P, {makeFloatArray(In)}, Sizes);
+  std::vector<float> Flat;
+  flattenValue(Out, Flat);
+  EXPECT_EQ(Flat, listing1Reference(In));
+}
+
+TEST(PaperExamples, Pad2WorkedExample) {
+  // Paper §3.4: pad2(1, 1, clamp, [[a,b],[c,d]]) ==
+  //   [[a,a,b,b],[a,a,b,b],[c,c,d,d],[c,c,d,d]]
+  AExpr N = var("n", Range(1, 1 << 30));
+  AExpr M = var("m", Range(1, 1 << 30));
+  ParamPtr A = param("A", arrayT(arrayT(floatT(), M), N));
+  Program P =
+      makeProgram({A}, padNd(2, cst(1), cst(1), Boundary::clamp(), A));
+
+  float a = 1, b = 2, c = 3, d = 4;
+  SizeEnv Sizes{{N->getVarId(), 2}, {M->getVarId(), 2}};
+  Value Out = evalProgram(P, {makeFloatArray2D({a, b, c, d}, 2, 2)}, Sizes);
+  std::vector<float> Flat;
+  flattenValue(Out, Flat);
+  EXPECT_EQ(Flat, (std::vector<float>{a, a, b, b, //
+                                      a, a, b, b, //
+                                      c, c, d, d, //
+                                      c, c, d, d}));
+}
+
+TEST(PaperExamples, Slide2WorkedExample) {
+  // Paper §3.4: slide2(2, 1, [[a,b,c],[d,e,f],[g,h,i]]) yields four 2x2
+  // neighborhoods [[a,b],[d,e]], [[b,c],[e,f]], [[d,e],[g,h]],
+  // [[e,f],[h,i]].
+  AExpr N = var("n", Range(1, 1 << 30));
+  AExpr M = var("m", Range(1, 1 << 30));
+  ParamPtr A = param("A", arrayT(arrayT(floatT(), M), N));
+  Program P = makeProgram({A}, slideNd(2, cst(2), cst(1), A));
+
+  float a = 1, b = 2, c = 3, d = 4, e = 5, f = 6, g = 7, h = 8, i = 9;
+  SizeEnv Sizes{{N->getVarId(), 3}, {M->getVarId(), 3}};
+  Value Out = evalProgram(
+      P, {makeFloatArray2D({a, b, c, d, e, f, g, h, i}, 3, 3)}, Sizes);
+  std::vector<float> Flat;
+  flattenValue(Out, Flat);
+  EXPECT_EQ(Flat, (std::vector<float>{a, b, d, e, //
+                                      b, c, e, f, //
+                                      d, e, g, h, //
+                                      e, f, h, i}));
+}
+
+TEST(PaperExamples, Listing4TilingEquivalence) {
+  // Listing 4: map(tile => map(sumNbh, slide(3,1,tile)), slide(5,3,
+  // pad(1,1,clamp,A))) then flattened must equal Listing 2's result.
+  std::vector<float> In{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8};
+  ASSERT_EQ(In.size() % 3, 0u) << "tile step must divide padded size";
+
+  AExpr N = var("n", Range(1, 1 << 30));
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  LambdaPtr SumNbh = lam("nbh", [](ExprPtr Nbh) {
+    return theOne(reduce(etaLambda(ufAddFloat()), lit(0.0f), Nbh));
+  });
+  LambdaPtr PerTile = lam("tile", [&](ExprPtr Tile) {
+    return map(SumNbh, slide(cst(3), cst(1), Tile));
+  });
+  Program P = makeProgram(
+      {A},
+      join(map(PerTile, slide(cst(5), cst(3),
+                              pad(cst(1), cst(1), Boundary::clamp(), A)))));
+
+  SizeEnv Sizes{{N->getVarId(), std::int64_t(In.size())}};
+  Value Out = evalProgram(P, {makeFloatArray(In)}, Sizes);
+  std::vector<float> Flat;
+  flattenValue(Out, Flat);
+  EXPECT_EQ(Flat, listing1Reference(In));
+}
+
+//===----------------------------------------------------------------------===//
+// Property: slideNd equals a direct neighborhood gather.
+//===----------------------------------------------------------------------===//
+
+struct SlideNdCase {
+  unsigned Dims;
+  std::int64_t GridSize; // per-dimension input extent
+  std::int64_t Window;
+  std::int64_t Step;
+};
+
+class SlideNdProperty : public ::testing::TestWithParam<SlideNdCase> {};
+
+TEST_P(SlideNdProperty, MatchesDirectGather) {
+  const SlideNdCase C = GetParam();
+  ASSERT_TRUE(C.Dims == 2 || C.Dims == 3);
+
+  std::int64_t Total = 1;
+  for (unsigned D = 0; D != C.Dims; ++D)
+    Total *= C.GridSize;
+  std::vector<float> Data(static_cast<std::size_t>(Total));
+  for (std::size_t I = 0; I != Data.size(); ++I)
+    Data[I] = float(I);
+
+  AExpr N = var("n", Range(1, 1 << 30));
+  TypePtr Ty = floatT();
+  for (unsigned D = 0; D != C.Dims; ++D)
+    Ty = arrayT(Ty, N);
+  ParamPtr A = param("A", Ty);
+  Program P =
+      makeProgram({A}, slideNd(C.Dims, cst(C.Window), cst(C.Step), A));
+
+  SizeEnv Sizes{{N->getVarId(), C.GridSize}};
+  Value In = C.Dims == 2
+                 ? makeFloatArray2D(Data, std::size_t(C.GridSize),
+                                    std::size_t(C.GridSize))
+                 : makeFloatArray3D(Data, std::size_t(C.GridSize),
+                                    std::size_t(C.GridSize),
+                                    std::size_t(C.GridSize));
+  Value Out = evalProgram(P, {In}, Sizes);
+  std::vector<float> Flat;
+  flattenValue(Out, Flat);
+
+  // Direct gather.
+  std::int64_t W = floorDivInt(C.GridSize - C.Window + C.Step, C.Step);
+  std::vector<float> Expected;
+  auto Flatten = [&](std::int64_t I, std::int64_t J, std::int64_t K) {
+    if (C.Dims == 2)
+      return Data[std::size_t(I * C.GridSize + J)];
+    return Data[std::size_t((I * C.GridSize + J) * C.GridSize + K)];
+  };
+  if (C.Dims == 2) {
+    for (std::int64_t WI = 0; WI != W; ++WI)
+      for (std::int64_t WJ = 0; WJ != W; ++WJ)
+        for (std::int64_t A0 = 0; A0 != C.Window; ++A0)
+          for (std::int64_t A1 = 0; A1 != C.Window; ++A1)
+            Expected.push_back(
+                Flatten(WI * C.Step + A0, WJ * C.Step + A1, 0));
+  } else {
+    for (std::int64_t WI = 0; WI != W; ++WI)
+      for (std::int64_t WJ = 0; WJ != W; ++WJ)
+        for (std::int64_t WK = 0; WK != W; ++WK)
+          for (std::int64_t A0 = 0; A0 != C.Window; ++A0)
+            for (std::int64_t A1 = 0; A1 != C.Window; ++A1)
+              for (std::int64_t A2 = 0; A2 != C.Window; ++A2)
+                Expected.push_back(Flatten(WI * C.Step + A0,
+                                           WJ * C.Step + A1,
+                                           WK * C.Step + A2));
+  }
+  EXPECT_EQ(Flat, Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SlideNdProperty,
+    ::testing::Values(SlideNdCase{2, 4, 2, 1}, SlideNdCase{2, 5, 3, 1},
+                      SlideNdCase{2, 7, 3, 2}, SlideNdCase{3, 4, 2, 1},
+                      SlideNdCase{3, 5, 3, 1}, SlideNdCase{2, 8, 5, 3},
+                      SlideNdCase{3, 5, 3, 2}));
+
+//===----------------------------------------------------------------------===//
+// Property: padNd + slideNd + mapNd(sum) equals a direct stencil loop.
+//===----------------------------------------------------------------------===//
+
+struct StencilNdCase {
+  unsigned Dims;
+  std::int64_t GridSize;
+  Boundary::Kind BK;
+};
+
+class StencilNdProperty : public ::testing::TestWithParam<StencilNdCase> {};
+
+TEST_P(StencilNdProperty, SumStencilMatchesLoopNest) {
+  const StencilNdCase C = GetParam();
+  std::int64_t Total = 1;
+  for (unsigned D = 0; D != C.Dims; ++D)
+    Total *= C.GridSize;
+  std::vector<float> Data(static_cast<std::size_t>(Total));
+  for (std::size_t I = 0; I != Data.size(); ++I)
+    Data[I] = float((I * 7) % 13);
+
+  Boundary B{C.BK, 0.0f};
+  AExpr N = var("n", Range(1, 1 << 30));
+  TypePtr Ty = floatT();
+  for (unsigned D = 0; D != C.Dims; ++D)
+    Ty = arrayT(Ty, N);
+  ParamPtr A = param("A", Ty);
+  Program P = makeProgram(
+      {A}, stencilNd(C.Dims, sumNeighborhood(C.Dims), cst(3), cst(1), cst(1),
+                     cst(1), B, A));
+
+  SizeEnv Sizes{{N->getVarId(), C.GridSize}};
+  Value In = C.Dims == 1 ? makeFloatArray(Data)
+             : C.Dims == 2
+                 ? makeFloatArray2D(Data, std::size_t(C.GridSize),
+                                    std::size_t(C.GridSize))
+                 : makeFloatArray3D(Data, std::size_t(C.GridSize),
+                                    std::size_t(C.GridSize),
+                                    std::size_t(C.GridSize));
+  Value Out = evalProgram(P, {In}, Sizes);
+  std::vector<float> Flat;
+  flattenValue(Out, Flat);
+
+  // Direct loop nest with boundary resolution.
+  std::int64_t G = C.GridSize;
+  auto Load = [&](std::int64_t I, std::int64_t J, std::int64_t K) -> float {
+    if (C.BK == Boundary::Kind::Constant) {
+      bool Out0 = I < 0 || I >= G;
+      bool Out1 = C.Dims >= 2 && (J < 0 || J >= G);
+      bool Out2 = C.Dims >= 3 && (K < 0 || K >= G);
+      if (Out0 || Out1 || Out2)
+        return 0.0f;
+    } else {
+      I = resolveBoundaryIndex(C.BK, I, G);
+      if (C.Dims >= 2)
+        J = resolveBoundaryIndex(C.BK, J, G);
+      if (C.Dims >= 3)
+        K = resolveBoundaryIndex(C.BK, K, G);
+    }
+    std::int64_t Idx = I;
+    if (C.Dims >= 2)
+      Idx = Idx * G + J;
+    if (C.Dims >= 3)
+      Idx = Idx * G + K;
+    return Data[std::size_t(Idx)];
+  };
+
+  std::vector<float> Expected;
+  if (C.Dims == 1) {
+    for (std::int64_t I = 0; I != G; ++I) {
+      float S = 0;
+      for (std::int64_t DI = -1; DI <= 1; ++DI)
+        S += Load(I + DI, 0, 0);
+      Expected.push_back(S);
+    }
+  } else if (C.Dims == 2) {
+    for (std::int64_t I = 0; I != G; ++I)
+      for (std::int64_t J = 0; J != G; ++J) {
+        float S = 0;
+        for (std::int64_t DI = -1; DI <= 1; ++DI)
+          for (std::int64_t DJ = -1; DJ <= 1; ++DJ)
+            S += Load(I + DI, J + DJ, 0);
+        Expected.push_back(S);
+      }
+  } else {
+    for (std::int64_t I = 0; I != G; ++I)
+      for (std::int64_t J = 0; J != G; ++J)
+        for (std::int64_t K = 0; K != G; ++K) {
+          float S = 0;
+          for (std::int64_t DI = -1; DI <= 1; ++DI)
+            for (std::int64_t DJ = -1; DJ <= 1; ++DJ)
+              for (std::int64_t DK = -1; DK <= 1; ++DK)
+                S += Load(I + DI, J + DJ, K + DK);
+          Expected.push_back(S);
+        }
+  }
+  ASSERT_EQ(Flat.size(), Expected.size());
+  for (std::size_t I = 0; I != Flat.size(); ++I)
+    EXPECT_FLOAT_EQ(Flat[I], Expected[I]) << "at " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StencilNdProperty,
+    ::testing::Values(StencilNdCase{1, 8, Boundary::Kind::Clamp},
+                      StencilNdCase{1, 8, Boundary::Kind::Mirror},
+                      StencilNdCase{1, 8, Boundary::Kind::Wrap},
+                      StencilNdCase{1, 8, Boundary::Kind::Constant},
+                      StencilNdCase{2, 6, Boundary::Kind::Clamp},
+                      StencilNdCase{2, 6, Boundary::Kind::Mirror},
+                      StencilNdCase{2, 6, Boundary::Kind::Wrap},
+                      StencilNdCase{2, 6, Boundary::Kind::Constant},
+                      StencilNdCase{3, 5, Boundary::Kind::Clamp},
+                      StencilNdCase{3, 5, Boundary::Kind::Constant}));
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- TypeErrorsTest.cpp - Ill-typed programs are rejected ---------------===//
+//
+// Part of the liftcpp project.
+//
+// Death tests: every class of type error must be reported (fatal)
+// rather than silently producing wrong code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/TypeInference.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+
+namespace {
+
+AExpr sizeVar(const char *Name) { return var(Name, Range(1, 1 << 30)); }
+
+TEST(TypeErrors, ZipLengthMismatch) {
+  AExpr N = sizeVar("n");
+  AExpr M = sizeVar("m");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  ParamPtr B = param("B", arrayT(floatT(), M));
+  Program P = makeProgram({A, B}, zip(A, B));
+  EXPECT_DEATH(inferTypes(P), "zip of arrays with different lengths");
+}
+
+TEST(TypeErrors, UserFunArityMismatch) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  // addF takes two arguments; apply asserts arity at build time, so
+  // build the call node directly with one argument.
+  ParamPtr X = param("x");
+  auto C = std::make_shared<CallExpr>(Prim::UserFunCall,
+                                      std::vector<ExprPtr>{X});
+  C->UF = ufAddFloat();
+  Program P = makeProgram({A}, map(lambda({X}, C), A));
+  EXPECT_DEATH(inferTypes(P), "userFun arity mismatch");
+}
+
+TEST(TypeErrors, UserFunArgumentKindMismatch) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(intT(), N)); // ints into a float fun
+  Program P = makeProgram({A}, map(etaLambda(ufIdFloat()), A));
+  EXPECT_DEATH(inferTypes(P), "userFun argument");
+}
+
+TEST(TypeErrors, ReduceAccumulatorTypeDrift) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  // Operator returns an int while the accumulator starts as float.
+  UserFunPtr Bad = makeUserFun(
+      "toInt", {"a", "b"}, {ScalarKind::Float, ScalarKind::Float},
+      ScalarKind::Int, "return 1;",
+      [](const std::vector<Scalar> &) { return Scalar(std::int32_t(1)); });
+  Program P = makeProgram({A}, reduce(etaLambda(Bad), lit(0.0f), A));
+  EXPECT_DEATH(inferTypes(P), "reduction operator must preserve");
+}
+
+TEST(TypeErrors, ConstantIndexOutOfBounds) {
+  ParamPtr A = param("A", arrayT(floatT(), cst(3)));
+  Program P = makeProgram({A}, at(5, A));
+  EXPECT_DEATH(inferTypes(P), "constant index out of bounds");
+}
+
+TEST(TypeErrors, GetOnNonTuple) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram({A}, get(0, A));
+  EXPECT_DEATH(inferTypes(P), "get on non-tuple");
+}
+
+TEST(TypeErrors, MapOverScalar) {
+  ParamPtr A = param("A", floatT());
+  Program P = makeProgram({A}, map(etaLambda(ufIdFloat()), A));
+  EXPECT_DEATH(inferTypes(P), "expected array");
+}
+
+TEST(TypeErrors, IterateMustPreserveType) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  // The body grows the array, so iteration cannot type-check.
+  LambdaPtr Grow = lam("xs", [](ExprPtr Xs) {
+    return pad(cst(1), cst(1), Boundary::clamp(), Xs);
+  });
+  Program P = makeProgram({A}, iterate(2, Grow, A));
+  EXPECT_DEATH(inferTypes(P), "iterate body must preserve");
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+//===- TypeInferenceTest.cpp - Unit tests for type inference -------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/TypeInference.h"
+#include "stencil/StencilOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::stencil;
+
+namespace {
+
+AExpr sizeVar(const char *Name) { return var(Name, Range(1, 1 << 30)); }
+
+TEST(TypeInference, MapPreservesLength) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram({A}, map(etaLambda(ufIdFloat()), A));
+  TypePtr T = inferTypes(P);
+  EXPECT_TRUE(typeEquals(T, arrayT(floatT(), N)));
+}
+
+TEST(TypeInference, PadGrowsArray) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P =
+      makeProgram({A}, pad(cst(2), cst(3), Boundary::clamp(), A));
+  TypePtr T = inferTypes(P);
+  EXPECT_TRUE(typeEquals(T, arrayT(floatT(), add(N, cst(5)))));
+}
+
+TEST(TypeInference, SlideWindowType) {
+  // slide(3, 1): [float]n -> [[float]3]{n-2} (paper §3.2).
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram({A}, slide(cst(3), cst(1), A));
+  TypePtr T = inferTypes(P);
+  EXPECT_TRUE(
+      typeEquals(T, arrayT(arrayT(floatT(), cst(3)), sub(N, cst(2)))));
+}
+
+TEST(TypeInference, SlideWithStep) {
+  // slide(5, 3): [float]n -> [[float]5]{(n-2)/3} — the tile window of
+  // Listing 4.
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram({A}, slide(cst(5), cst(3), A));
+  TypePtr T = inferTypes(P);
+  AExpr Expected = floorDiv(sub(N, cst(2)), cst(3));
+  EXPECT_TRUE(exprEquals(T->getSize(), Expected))
+      << T->getSize()->toString();
+}
+
+TEST(TypeInference, PadSlideComposition) {
+  // Listing 2 shape: slide(3,1, pad(1,1,clamp,A)) restores length n.
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram(
+      {A}, slide(cst(3), cst(1), pad(cst(1), cst(1), Boundary::clamp(), A)));
+  TypePtr T = inferTypes(P);
+  EXPECT_TRUE(exprEquals(T->getSize(), N)) << T->getSize()->toString();
+}
+
+TEST(TypeInference, SplitJoinRoundTrip) {
+  AExpr N = sizeVar("n");
+  AExpr M = sizeVar("m");
+  ParamPtr A = param("A", arrayT(floatT(), mul(N, M)));
+  Program P = makeProgram({A}, join(split(M, A)));
+  TypePtr T = inferTypes(P);
+  EXPECT_TRUE(exprEquals(T->getSize(), mul(N, M)));
+}
+
+TEST(TypeInference, TransposeSwapsDims) {
+  AExpr N = sizeVar("n");
+  AExpr M = sizeVar("m");
+  ParamPtr A = param("A", arrayT(arrayT(floatT(), M), N));
+  Program P = makeProgram({A}, transpose(A));
+  TypePtr T = inferTypes(P);
+  EXPECT_TRUE(typeEquals(T, arrayT(arrayT(floatT(), N), M)));
+}
+
+TEST(TypeInference, ZipBuildsTuples) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  ParamPtr B = param("B", arrayT(intT(), N));
+  Program P = makeProgram({A, B}, zip(A, B));
+  TypePtr T = inferTypes(P);
+  EXPECT_TRUE(typeEquals(T, arrayT(tupleT({floatT(), intT()}), N)));
+}
+
+TEST(TypeInference, ReduceYieldsSingleton) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P =
+      makeProgram({A}, reduce(etaLambda(ufAddFloat()), lit(0.0f), A));
+  TypePtr T = inferTypes(P);
+  EXPECT_TRUE(typeEquals(T, arrayT(floatT(), cst(1))));
+}
+
+TEST(TypeInference, GenerateBuildsIntGrid) {
+  AExpr N = sizeVar("n");
+  AExpr M = sizeVar("m");
+  LambdaPtr F = lam2("i", "j", [](ExprPtr I, ExprPtr J) {
+    (void)J; // the generator may ignore indices
+    return apply(ufIdInt(), {I});
+  });
+  Program P = makeProgram({param("dummy", arrayT(floatT(), N))},
+                          generate({N, M}, F));
+  TypePtr T = inferTypes(P);
+  EXPECT_TRUE(typeEquals(T, arrayT(arrayT(intT(), M), N)));
+}
+
+TEST(TypeInference, AtExtractsElement) {
+  ParamPtr A = param("A", arrayT(floatT(), cst(3)));
+  Program P = makeProgram({A}, at(2, A));
+  EXPECT_TRUE(typeEquals(inferTypes(P), floatT()));
+}
+
+TEST(TypeInference, StencilNd2DShape) {
+  // 2D 3x3 stencil over [n][m] keeps the grid shape.
+  AExpr N = sizeVar("n");
+  AExpr M = sizeVar("m");
+  ParamPtr A = param("A", arrayT(arrayT(floatT(), M), N));
+  Program P = makeProgram(
+      {A}, stencilNd(2, sumNeighborhood(2), cst(3), cst(1), cst(1), cst(1),
+                     Boundary::clamp(), A));
+  TypePtr T = inferTypes(P);
+  EXPECT_TRUE(typeEquals(T, arrayT(arrayT(floatT(), M), N)))
+      << T->toString();
+}
+
+TEST(TypeInference, StencilNd3DShape) {
+  AExpr N = sizeVar("n");
+  AExpr M = sizeVar("m");
+  AExpr O = sizeVar("o");
+  ParamPtr A = param("A", arrayT(arrayT(arrayT(floatT(), M), N), O));
+  Program P = makeProgram(
+      {A}, stencilNd(3, sumNeighborhood(3), cst(3), cst(1), cst(1), cst(1),
+                     Boundary::clamp(), A));
+  TypePtr T = inferTypes(P);
+  EXPECT_TRUE(typeEquals(T, arrayT(arrayT(arrayT(floatT(), M), N), O)))
+      << T->toString();
+}
+
+TEST(TypeInference, SlideNd2DNeighborhoodType) {
+  // slide2(3,1) over [n][m] has type [[[[f]3]3]{m-2}]{n-2} — grid dims
+  // outermost, window dims innermost (paper §3.4).
+  AExpr N = sizeVar("n");
+  AExpr M = sizeVar("m");
+  ParamPtr A = param("A", arrayT(arrayT(floatT(), M), N));
+  Program P = makeProgram({A}, slideNd(2, cst(3), cst(1), A));
+  TypePtr T = inferTypes(P);
+  TypePtr Expected = arrayT(
+      arrayT(arrayT(arrayT(floatT(), cst(3)), cst(3)), sub(M, cst(2))),
+      sub(N, cst(2)));
+  EXPECT_TRUE(typeEquals(T, Expected)) << T->toString();
+}
+
+TEST(TypeInference, MapNdAppliesAtDepth) {
+  AExpr N = sizeVar("n");
+  AExpr M = sizeVar("m");
+  ParamPtr A = param("A", arrayT(arrayT(floatT(), M), N));
+  Program P = makeProgram({A}, mapNd(2, etaLambda(ufIdFloat()), A));
+  TypePtr T = inferTypes(P);
+  EXPECT_TRUE(typeEquals(T, arrayT(arrayT(floatT(), M), N)));
+}
+
+} // namespace

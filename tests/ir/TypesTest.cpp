@@ -1,0 +1,66 @@
+//===- TypesTest.cpp - Unit tests for the Lift type system ---------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Types.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+
+namespace {
+
+TEST(Types, ScalarSingletons) {
+  EXPECT_TRUE(typeEquals(floatT(), scalarT(ScalarKind::Float)));
+  EXPECT_TRUE(typeEquals(intT(), scalarT(ScalarKind::Int)));
+  EXPECT_FALSE(typeEquals(floatT(), intT()));
+}
+
+TEST(Types, ArrayCarriesSymbolicSize) {
+  AExpr N = var("n", Range(1, 1 << 30));
+  TypePtr T = arrayT(floatT(), N);
+  EXPECT_EQ(T->getKind(), Type::Kind::Array);
+  EXPECT_TRUE(exprEquals(T->getSize(), N));
+  EXPECT_TRUE(typeEquals(T->getElem(), floatT()));
+}
+
+TEST(Types, EqualityIsStructuralOverSizes) {
+  AExpr N = var("n", Range(1, 1 << 30));
+  // n + n and 2*n canonicalize identically, so the array types match.
+  TypePtr A = arrayT(floatT(), add(N, N));
+  TypePtr B = arrayT(floatT(), mul(cst(2), N));
+  EXPECT_TRUE(typeEquals(A, B));
+  TypePtr C = arrayT(floatT(), add(N, cst(1)));
+  EXPECT_FALSE(typeEquals(A, C));
+}
+
+TEST(Types, TupleTypes) {
+  TypePtr T = tupleT({floatT(), intT()});
+  ASSERT_EQ(T->getComponents().size(), 2u);
+  EXPECT_TRUE(typeEquals(T->getComponents()[0], floatT()));
+  EXPECT_FALSE(typeEquals(T, tupleT({intT(), floatT()})));
+}
+
+TEST(Types, NumDims) {
+  AExpr N = var("n", Range(1, 1 << 30));
+  TypePtr T3 = arrayT(arrayT(arrayT(floatT(), N), N), N);
+  EXPECT_EQ(numDims(T3), 3u);
+  EXPECT_EQ(numDims(floatT()), 0u);
+}
+
+TEST(Types, ElementCount) {
+  AExpr N = var("n", Range(1, 1 << 30));
+  AExpr M = var("m", Range(1, 1 << 30));
+  TypePtr T = arrayT(arrayT(floatT(), M), N);
+  EXPECT_TRUE(exprEquals(elementCount(T), mul(N, M)));
+}
+
+TEST(Types, ToString) {
+  TypePtr T = arrayT(arrayT(floatT(), cst(3)), cst(5));
+  EXPECT_EQ(T->toString(), "[[float]3]5");
+}
+
+} // namespace

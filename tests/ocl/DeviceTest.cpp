@@ -1,0 +1,141 @@
+//===- DeviceTest.cpp - Device timing model tests --------------------------===//
+//
+// Part of the liftcpp project.
+//
+// Property-style tests of the analytic timing model: monotonicity in
+// each counter, utilization behavior, and the qualitative differences
+// between the three modeled GPUs that the paper's results rest on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/Device.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ocl;
+
+namespace {
+
+ExecCounters baseCounters() {
+  ExecCounters C;
+  C.GlobalLoads = 1'000'000;
+  C.GlobalStores = 200'000;
+  C.GlobalLoadLineMisses = 40'000;
+  C.Flops = 2'000'000;
+  C.LoopIterations = 1'200'000;
+  return C;
+}
+
+NDRangeInfo bigLaunch() {
+  NDRangeInfo ND;
+  ND.GlobalSize[0] = 4096;
+  ND.GlobalSize[1] = 4096;
+  return ND;
+}
+
+TEST(Device, PaperDevicesAreDistinct) {
+  auto Devs = paperDevices();
+  ASSERT_EQ(Devs.size(), 3u);
+  EXPECT_EQ(Devs[0].Name, "NvidiaK20c");
+  EXPECT_EQ(Devs[1].Name, "AmdHd7970");
+  EXPECT_EQ(Devs[2].Name, "MaliT628");
+  // The mobile GPU is an order of magnitude slower on every engine.
+  EXPECT_LT(Devs[2].DramBandwidth, Devs[0].DramBandwidth / 10);
+  EXPECT_LT(Devs[2].OpsPerSecond, Devs[0].OpsPerSecond / 10);
+  // Mali's "local memory" is no faster than its cache path.
+  EXPECT_LE(Devs[2].LocalBandwidth, Devs[2].CacheBandwidth);
+  // The discrete GPUs have real scratchpads.
+  EXPECT_GT(Devs[0].LocalBandwidth, Devs[0].DramBandwidth);
+  EXPECT_GT(Devs[1].LocalBandwidth, Devs[1].DramBandwidth);
+}
+
+TEST(Device, TimeIncreasesWithMisses) {
+  DeviceSpec Dev = deviceNvidiaK20c();
+  LaunchParams LP;
+  ExecCounters C = baseCounters();
+  Timing T1 = estimateTime(Dev, C, bigLaunch(), LP);
+  C.GlobalLoadLineMisses *= 10;
+  Timing T2 = estimateTime(Dev, C, bigLaunch(), LP);
+  EXPECT_GT(T2.MemTime, T1.MemTime);
+  EXPECT_GE(T2.Total, T1.Total);
+}
+
+TEST(Device, TimeIncreasesWithFlops) {
+  DeviceSpec Dev = deviceMaliT628(); // compute-weak device
+  LaunchParams LP;
+  ExecCounters C = baseCounters();
+  Timing T1 = estimateTime(Dev, C, bigLaunch(), LP);
+  C.Flops *= 50;
+  Timing T2 = estimateTime(Dev, C, bigLaunch(), LP);
+  EXPECT_GT(T2.ComputeTime, T1.ComputeTime);
+  EXPECT_GT(T2.Total, T1.Total);
+}
+
+TEST(Device, SmallLaunchUnderutilizes) {
+  DeviceSpec Dev = deviceNvidiaK20c();
+  LaunchParams LP;
+  ExecCounters C = baseCounters();
+
+  NDRangeInfo Small;
+  Small.GlobalSize[0] = 512; // << 13 SMX * 2048 threads
+
+  Timing TB = estimateTime(Dev, C, bigLaunch(), LP);
+  Timing TS = estimateTime(Dev, C, Small, LP);
+  EXPECT_LT(TS.Utilization, TB.Utilization);
+  EXPECT_GT(TS.Total, TB.Total);
+}
+
+TEST(Device, LocalMemoryUseLimitsOccupancy) {
+  DeviceSpec Dev = deviceNvidiaK20c();
+  LaunchParams LP;
+  ExecCounters C = baseCounters();
+
+  NDRangeInfo ND;
+  ND.UsesWorkGroups = true;
+  ND.NumGroups[0] = 4096;
+  ND.LocalSize[0] = 64;
+
+  Timing Light = estimateTime(Dev, C, ND, LP);
+  // A work-group hogging all 48 KB of local memory: one resident group
+  // per SMX, so far fewer threads in flight.
+  ND.LocalMemBytes = 48 * 1024;
+  Timing Heavy = estimateTime(Dev, C, ND, LP);
+  EXPECT_LT(Heavy.Utilization, Light.Utilization);
+  EXPECT_GT(Heavy.Total, Light.Total);
+}
+
+TEST(Device, BarriersCostMoreOnAmd) {
+  ExecCounters C = baseCounters();
+  C.Barriers = 100'000;
+  LaunchParams LP;
+  Timing TN = estimateTime(deviceNvidiaK20c(), C, bigLaunch(), LP);
+  Timing TA = estimateTime(deviceAmdHd7970(), C, bigLaunch(), LP);
+  EXPECT_GT(TA.BarrierTime, TN.BarrierTime);
+}
+
+TEST(Device, WarpGranularityPenalizesOddGroups) {
+  DeviceSpec Dev = deviceAmdHd7970(); // wavefront 64
+  LaunchParams LP;
+  ExecCounters C = baseCounters();
+  NDRangeInfo ND;
+  ND.UsesWorkGroups = true;
+  ND.NumGroups[0] = 1 << 14;
+  ND.LocalSize[0] = 64; // full wavefront
+  Timing Full = estimateTime(Dev, C, ND, LP);
+  ND.LocalSize[0] = 40; // partially filled wavefront
+  Timing Partial = estimateTime(Dev, C, ND, LP);
+  EXPECT_LT(Partial.Utilization, Full.Utilization);
+}
+
+TEST(Device, TotalDecomposes) {
+  DeviceSpec Dev = deviceNvidiaK20c();
+  LaunchParams LP;
+  ExecCounters C = baseCounters();
+  Timing T = estimateTime(Dev, C, bigLaunch(), LP);
+  double Busy = std::max({T.MemTime, T.ComputeTime, T.LocalTime});
+  EXPECT_NEAR(T.Total, Busy / T.Utilization + T.BarrierTime + T.LaunchTime,
+              1e-12);
+}
+
+} // namespace

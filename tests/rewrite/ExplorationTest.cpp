@@ -1,0 +1,133 @@
+//===- ExplorationTest.cpp - Rewrite-space exploration tests --------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "rewrite/Exploration.h"
+#include "stencil/StencilOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::interp;
+using namespace lift::rewrite;
+using namespace lift::stencil;
+
+namespace {
+
+AExpr sizeVar(const char *Name) { return var(Name, Range(1, 1 << 30)); }
+
+Program jacobi1D(ParamPtr A) {
+  LambdaPtr SumNbh = lam("nbh", [](ExprPtr Nbh) {
+    return theOne(reduce(etaLambda(ufAddFloat()), lit(0.0f), Nbh));
+  });
+  return makeProgram(
+      {A}, map(SumNbh, slide(cst(3), cst(1),
+                             pad(cst(1), cst(1), Boundary::clamp(), A))));
+}
+
+TEST(Exploration, ApplyAtOccurrenceSelectsPositions) {
+  // A program with two fusable map pairs: map(f, map(g, map(h, A))).
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  auto Mul = [](float C) {
+    return lam("x", [C](ExprPtr X) {
+      return ir::apply(ufMultFloat(), {X, lit(C)});
+    });
+  };
+  Program P = makeProgram(
+      {A}, map(Mul(2), map(Mul(3), map(Mul(5), A))));
+  Rule Fusion = mapFusionRule();
+  EXPECT_EQ(countMatches(Fusion, P->getBody()), 2);
+  ExprPtr At0 = applyAtOccurrence(Fusion, P->getBody(), 0);
+  ExprPtr At1 = applyAtOccurrence(Fusion, P->getBody(), 1);
+  ExprPtr At2 = applyAtOccurrence(Fusion, P->getBody(), 2);
+  EXPECT_NE(At0, nullptr);
+  EXPECT_NE(At1, nullptr);
+  EXPECT_EQ(At2, nullptr); // only two occurrences
+  EXPECT_NE(toString(At0), toString(At1));
+}
+
+TEST(Exploration, FindsDistinctVariantsOfJacobi) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = jacobi1D(A);
+
+  ExplorationOptions O;
+  O.MaxDepth = 2;
+  O.MaxPrograms = 64;
+  std::vector<Derivation> Space = explore(P, stencilExplorationRules(), O);
+
+  // The space contains the original plus several rewrites, including
+  // at least one tiled derivation.
+  EXPECT_GT(Space.size(), 4u);
+  bool FoundTiled = false;
+  for (const Derivation &D : Space)
+    for (const std::string &RuleName : D.RulesApplied)
+      FoundTiled |= RuleName == "overlappedTiling1D";
+  EXPECT_TRUE(FoundTiled);
+}
+
+TEST(Exploration, AllDerivationsAreSemanticallyEqual) {
+  // The heart of the paper's claim: every reachable program computes
+  // the same function ("provably correct rewrite rules").
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = jacobi1D(A);
+
+  ExplorationOptions O;
+  O.MaxDepth = 2;
+  O.MaxPrograms = 32;
+  std::vector<Derivation> Space = explore(P, stencilExplorationRules(), O);
+
+  // Length 64 satisfies the divisibility constraints of every tile and
+  // split size combination reachable within the depth bound (rules can
+  // only check constant lengths statically; symbolic ones become
+  // obligations on the launch size, enforced by the tuner in
+  // production).
+  std::vector<float> In(64);
+  for (std::size_t I = 0; I != In.size(); ++I)
+    In[I] = float((I * 5 + 2) % 11);
+  SizeEnv Sizes{{N->getVarId(), 64}};
+  std::vector<float> Reference;
+  flattenValue(evalProgram(P, {makeFloatArray(In)}, Sizes), Reference);
+
+  for (const Derivation &D : Space) {
+    std::vector<float> Got;
+    flattenValue(evalProgram(D.P, {makeFloatArray(In)}, Sizes), Got);
+    ASSERT_EQ(Got.size(), Reference.size()) << toString(D.P);
+    for (std::size_t I = 0; I != Got.size(); ++I)
+      ASSERT_FLOAT_EQ(Got[I], Reference[I])
+          << "derivation " << toString(D.P) << " differs at " << I;
+  }
+}
+
+TEST(Exploration, DepthBoundsTheSpace) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = jacobi1D(A);
+  ExplorationOptions Shallow;
+  Shallow.MaxDepth = 1;
+  ExplorationOptions Deep;
+  Deep.MaxDepth = 3;
+  std::size_t SizeShallow =
+      explore(P, stencilExplorationRules(), Shallow).size();
+  std::size_t SizeDeep = explore(P, stencilExplorationRules(), Deep).size();
+  EXPECT_GT(SizeShallow, 1u);
+  EXPECT_GT(SizeDeep, SizeShallow);
+}
+
+TEST(Exploration, RespectsProgramBudget) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = jacobi1D(A);
+  ExplorationOptions O;
+  O.MaxDepth = 4;
+  O.MaxPrograms = 10;
+  EXPECT_LE(explore(P, stencilExplorationRules(), O).size(), 10u);
+}
+
+} // namespace

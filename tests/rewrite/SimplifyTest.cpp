@@ -1,0 +1,216 @@
+//===- SimplifyTest.cpp - Simplification rule tests -----------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/TypeInference.h"
+#include "rewrite/Rules.h"
+#include "stencil/StencilOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::interp;
+using namespace lift::rewrite;
+using namespace lift::stencil;
+
+namespace {
+
+AExpr sizeVar(const char *Name) { return var(Name, Range(1, 1 << 30)); }
+
+/// Interprets \p P before and after simplification on \p In and expects
+/// identical results plus the given structural node count change.
+void expectSimplifyPreserves(const Program &P, const std::vector<Value> &In,
+                             const SizeEnv &Sizes) {
+  inferTypes(P);
+  ExprPtr Simplified = simplify(P->getBody());
+  Program Q = makeProgram(P->getParams(), Simplified);
+  inferTypes(Q);
+
+  std::vector<float> Before, After;
+  flattenValue(evalProgram(P, In, Sizes), Before);
+  flattenValue(evalProgram(Q, In, Sizes), After);
+  ASSERT_EQ(Before.size(), After.size());
+  for (std::size_t I = 0; I != Before.size(); ++I)
+    EXPECT_FLOAT_EQ(Before[I], After[I]) << "at " << I;
+}
+
+TEST(Simplify, TransposeTranspose) {
+  AExpr N = sizeVar("n");
+  AExpr M = sizeVar("m");
+  ParamPtr A = param("A", arrayT(arrayT(floatT(), M), N));
+  Program P = makeProgram({A}, transpose(transpose(A)));
+  inferTypes(P);
+  ExprPtr S = simplify(P->getBody());
+  EXPECT_EQ(S.get(), A.get()); // collapses to the bare parameter
+}
+
+TEST(Simplify, JoinSplit) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram({A}, join(split(cst(4), A)));
+  inferTypes(P);
+  EXPECT_EQ(simplify(P->getBody()).get(), A.get());
+}
+
+TEST(Simplify, SplitJoinOnlyWhenSizesMatch) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(arrayT(floatT(), cst(4)), N));
+  // split(4, join(A)) == A since A's rows have length 4.
+  Program P = makeProgram({A}, split(cst(4), join(A)));
+  inferTypes(P);
+  EXPECT_EQ(simplify(P->getBody()).get(), A.get());
+
+  // split(2, join(A)) reshapes and must NOT be eliminated.
+  Program Q = makeProgram({A}, split(cst(2), join(A)));
+  inferTypes(Q);
+  EXPECT_NE(simplify(Q->getBody()).get(), A.get());
+}
+
+TEST(Simplify, PadPadMergeClamp) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram(
+      {A}, pad(cst(1), cst(2), Boundary::clamp(),
+               pad(cst(3), cst(1), Boundary::clamp(), A)));
+  inferTypes(P);
+  ExprPtr S = simplify(P->getBody());
+  const auto *C = dynCast<CallExpr>(S);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->getPrim(), Prim::Pad);
+  EXPECT_TRUE(C->PadL->isCst(4));
+  EXPECT_TRUE(C->PadR->isCst(3));
+  EXPECT_EQ(C->getArgs()[0].get(), A.get());
+
+  // Semantics preserved on data.
+  std::vector<float> In = {1, 2, 3, 4};
+  expectSimplifyPreserves(P, {makeFloatArray(In)},
+                          {{N->getVarId(), 4}});
+}
+
+TEST(Simplify, PadPadMirrorNotMerged) {
+  // Double mirroring is not a single mirror: keep it.
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram(
+      {A}, pad(cst(2), cst(2), Boundary::mirror(),
+               pad(cst(2), cst(2), Boundary::mirror(), A)));
+  inferTypes(P);
+  ExprPtr S = simplify(P->getBody());
+  const auto *C = dynCast<CallExpr>(S);
+  ASSERT_NE(C, nullptr);
+  const auto *InnerPad = dynCast<CallExpr>(C->getArgs()[0]);
+  ASSERT_NE(InnerPad, nullptr);
+  EXPECT_EQ(InnerPad->getPrim(), Prim::Pad); // still two pads
+}
+
+TEST(Simplify, PadPadConstantMergeRequiresSameValue) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program Same = makeProgram(
+      {A}, pad(cst(1), cst(1), Boundary::constant(0.0f),
+               pad(cst(1), cst(1), Boundary::constant(0.0f), A)));
+  inferTypes(Same);
+  ExprPtr SimpSame = simplify(Same->getBody());
+  const auto *C = dynCast<CallExpr>(SimpSame);
+  ASSERT_NE(C, nullptr);
+  EXPECT_TRUE(C->PadL->isCst(2));
+
+  ParamPtr B = param("B", arrayT(floatT(), N));
+  Program Diff = makeProgram(
+      {B}, pad(cst(1), cst(1), Boundary::constant(1.0f),
+               pad(cst(1), cst(1), Boundary::constant(0.0f), B)));
+  inferTypes(Diff);
+  ExprPtr SimpDiff = simplify(Diff->getBody());
+  const auto *D = dynCast<CallExpr>(SimpDiff);
+  ASSERT_NE(D, nullptr);
+  EXPECT_TRUE(D->PadL->isCst(1)); // not merged
+}
+
+TEST(Simplify, MapIdElimination) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram({A}, map(etaLambda(ufIdFloat()), A));
+  inferTypes(P);
+  EXPECT_EQ(simplify(P->getBody()).get(), A.get());
+}
+
+TEST(Simplify, RunsToFixedPoint) {
+  // A stack of redundancies collapses completely in one simplify call.
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  ExprPtr E = join(split(cst(4), map(etaLambda(ufIdFloat()),
+                                     join(split(cst(2), A)))));
+  Program P = makeProgram({A}, E);
+  inferTypes(P);
+  EXPECT_EQ(simplify(P->getBody()).get(), A.get());
+}
+
+TEST(Simplify, TilingRuleDecomposesIntoSmallerRules) {
+  // Paper §4.1 argues the tiling rule's correctness by decomposing it:
+  //   slide(sz, st) -> join(map(slide(sz, st)), slide(u, v))   (1)
+  //   map(f, join(in)) -> join(map(map(f), in))                (2)
+  //   map fusion                                               (3)
+  // Applying (1), (2), (3) to map(f, slide(...)) must be semantically
+  // identical to the one-shot tiling rule.
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  LambdaPtr SumNbh = lam("nbh", [](ExprPtr Nbh) {
+    return theOne(reduce(etaLambda(ufAddFloat()), lit(0.0f), Nbh));
+  });
+  Program P = makeProgram(
+      {A}, map(SumNbh, slide(cst(3), cst(1),
+                             pad(cst(1), cst(1), Boundary::clamp(), A))));
+
+  // One-shot rule.
+  Program OneShot = rewriteProgram(tiling1DRule(4), P);
+  ASSERT_NE(OneShot, nullptr);
+
+  // Decomposed: (1) then (2) then (3).
+  Program Step1 = rewriteProgram(slideTilingDecompositionRule(4), P);
+  ASSERT_NE(Step1, nullptr);
+  Program Step2 = rewriteProgram(mapJoinRule(), Step1);
+  ASSERT_NE(Step2, nullptr);
+  Program Step3 = rewriteProgram(mapFusionRule(), Step2);
+  ASSERT_NE(Step3, nullptr);
+
+  std::vector<float> In(16);
+  for (std::size_t I = 0; I != In.size(); ++I)
+    In[I] = float(I);
+  SizeEnv Sizes{{N->getVarId(), 16}};
+  std::vector<float> FOne, FDec, FOrig;
+  flattenValue(evalProgram(OneShot, {makeFloatArray(In)}, Sizes), FOne);
+  flattenValue(evalProgram(Step3, {makeFloatArray(In)}, Sizes), FDec);
+  flattenValue(evalProgram(P, {makeFloatArray(In)}, Sizes), FOrig);
+  EXPECT_EQ(FOne, FDec);
+  EXPECT_EQ(FOne, FOrig);
+}
+
+TEST(Simplify, PerDimBoundaryPadNd) {
+  // Paper §3.4: different boundary handling per dimension. Clamp rows,
+  // wrap columns; validated against the interpreter semantics.
+  AExpr N = sizeVar("n");
+  AExpr M = sizeVar("m");
+  ParamPtr A = param("A", arrayT(arrayT(floatT(), M), N));
+  Program P = makeProgram(
+      {A}, padNdPerDim(2, cst(1), cst(1),
+                       {Boundary::clamp(), Boundary::wrap()}, A));
+  inferTypes(P);
+
+  std::vector<float> In = {1, 2, 3, //
+                           4, 5, 6};
+  SizeEnv Sizes{{N->getVarId(), 2}, {M->getVarId(), 3}};
+  Value Out = evalProgram(P, {makeFloatArray2D(In, 2, 3)}, Sizes);
+  std::vector<float> Flat;
+  flattenValue(Out, Flat);
+  // Rows clamped (row -1 = row 0, row 2 = row 1), columns wrapped.
+  EXPECT_EQ(Flat, (std::vector<float>{3, 1, 2, 3, 1,  //
+                                      3, 1, 2, 3, 1,  //
+                                      6, 4, 5, 6, 4,  //
+                                      6, 4, 5, 6, 4}));
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- BenchmarksTest.cpp - Benchmark suite correctness -------------------===//
+//
+// Part of the liftcpp project.
+//
+// Every benchmark program is validated two ways on small grids:
+//  1. the high-level interpreter must match the independent golden
+//     loop-nest implementation;
+//  2. the lowered (mapGlb) program, compiled and executed on the
+//     NDRange simulator, must match the golden too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Runner.h"
+#include "interp/Interpreter.h"
+#include "rewrite/Lowering.h"
+#include "stencil/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::interp;
+using namespace lift::stencil;
+using namespace lift::rewrite;
+using namespace lift::codegen;
+
+namespace {
+
+/// Small grids for correctness runs (non-square to catch transposed
+/// indexing).
+Extents testExtents(const Benchmark &B) {
+  if (B.Dims == 2)
+    return {10, 12};
+  return {4, 6, 8};
+}
+
+Value toValue(const std::vector<float> &Data, const Extents &E) {
+  if (E.size() == 1)
+    return makeFloatArray(Data);
+  if (E.size() == 2)
+    return makeFloatArray2D(Data, std::size_t(E[0]), std::size_t(E[1]));
+  return makeFloatArray3D(Data, std::size_t(E[0]), std::size_t(E[1]),
+                          std::size_t(E[2]));
+}
+
+void expectClose(const std::vector<float> &Got,
+                 const std::vector<float> &Want, const char *What) {
+  ASSERT_EQ(Got.size(), Want.size()) << What;
+  for (std::size_t I = 0; I != Got.size(); ++I)
+    ASSERT_NEAR(Got[I], Want[I], 1e-4f) << What << " at " << I;
+}
+
+class BenchmarkCorrectness
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BenchmarkCorrectness, InterpreterMatchesGolden) {
+  const Benchmark &B = findBenchmark(GetParam());
+  Extents E = testExtents(B);
+  std::vector<std::vector<float>> Inputs = makeBenchmarkInputs(B, E);
+  std::vector<float> Want = B.Golden(Inputs, E);
+
+  BenchmarkInstance I = B.Build();
+  std::vector<Value> InputValues;
+  for (const std::vector<float> &In : Inputs)
+    InputValues.push_back(toValue(In, E));
+  Value Out = evalProgram(I.P, InputValues, makeSizeEnv(I, E));
+  std::vector<float> Got;
+  flattenValue(Out, Got);
+  expectClose(Got, Want, "interpreter vs golden");
+}
+
+TEST_P(BenchmarkCorrectness, LoweredSimMatchesGolden) {
+  const Benchmark &B = findBenchmark(GetParam());
+  Extents E = testExtents(B);
+  std::vector<std::vector<float>> Inputs = makeBenchmarkInputs(B, E);
+  std::vector<float> Want = B.Golden(Inputs, E);
+
+  BenchmarkInstance I = B.Build();
+  LoweringOptions O; // plain global lowering
+  Program Low = lowerStencil(I.P, O);
+  ASSERT_NE(Low, nullptr);
+  RunResult R = runOnSim(Low, Inputs, makeSizeEnv(I, E));
+  expectClose(R.Output, Want, "lowered+sim vs golden");
+}
+
+TEST_P(BenchmarkCorrectness, UnrolledVariantMatchesGolden) {
+  const Benchmark &B = findBenchmark(GetParam());
+  Extents E = testExtents(B);
+  std::vector<std::vector<float>> Inputs = makeBenchmarkInputs(B, E);
+  std::vector<float> Want = B.Golden(Inputs, E);
+
+  BenchmarkInstance I = B.Build();
+  LoweringOptions O;
+  O.UnrollReduce = true;
+  Program Low = lowerStencil(I.P, O);
+  ASSERT_NE(Low, nullptr);
+  RunResult R = runOnSim(Low, Inputs, makeSizeEnv(I, E));
+  expectClose(R.Output, Want, "unrolled+sim vs golden");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, BenchmarkCorrectness,
+    ::testing::Values("Stencil2D", "SRAD1", "SRAD2", "Hotspot2D",
+                      "Hotspot3D", "Acoustic", "Gaussian", "Gradient",
+                      "Jacobi2D5pt", "Jacobi2D9pt", "Jacobi3D7pt",
+                      "Jacobi3D13pt", "Poisson", "Heat"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      return std::string(Info.param);
+    });
+
+/// Tiled variants: single-grid slideNd shapes and multi-grid zipNd
+/// shapes (overlapping tiles for slided components, exact tiles for
+/// point-wise ones).
+class BenchmarkTiled : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BenchmarkTiled, TiledLocalMatchesGolden) {
+  const Benchmark &B = findBenchmark(GetParam());
+  // Tile-output size must divide each extent.
+  Extents E = B.Dims == 2 ? Extents{12, 16} : Extents{4, 8, 12};
+  std::vector<std::vector<float>> Inputs = makeBenchmarkInputs(B, E);
+  std::vector<float> Want = B.Golden(Inputs, E);
+
+  BenchmarkInstance I = B.Build();
+  LoweringOptions O;
+  O.Tile = true;
+  O.TileOutputs = 4;
+  O.UseLocalMem = true;
+  Program Low = lowerStencil(I.P, O);
+  ASSERT_NE(Low, nullptr) << "tiling failed for " << B.Name;
+  RunResult R = runOnSim(Low, Inputs, makeSizeEnv(I, E));
+  expectClose(R.Output, Want, "tiled-local+sim vs golden");
+  EXPECT_GT(R.Counters.LocalLoads, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, BenchmarkTiled,
+    ::testing::Values("Stencil2D", "SRAD1", "Gaussian", "Gradient",
+                      "Jacobi2D5pt", "Jacobi2D9pt", "Jacobi3D7pt",
+                      "Jacobi3D13pt", "Poisson", "Heat", "SRAD2",
+                      "Hotspot2D", "Hotspot3D", "Acoustic"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      return std::string(Info.param);
+    });
+
+TEST(Benchmarks, Table1Characteristics) {
+  // The metadata reproduced in Table 1.
+  const Benchmark &S2D = findBenchmark("Stencil2D");
+  EXPECT_EQ(S2D.Dims, 2u);
+  EXPECT_EQ(S2D.Points, 9);
+  EXPECT_EQ(S2D.NumGrids, 1);
+
+  const Benchmark &HS = findBenchmark("Hotspot2D");
+  EXPECT_EQ(HS.Points, 5);
+  EXPECT_EQ(HS.NumGrids, 2);
+  EXPECT_EQ(HS.SmallExtents, (Extents{8192, 8192}));
+
+  const Benchmark &AC = findBenchmark("Acoustic");
+  EXPECT_EQ(AC.Dims, 3u);
+  EXPECT_EQ(AC.Points, 7);
+  EXPECT_EQ(AC.NumGrids, 2);
+
+  const Benchmark &J13 = findBenchmark("Jacobi3D13pt");
+  EXPECT_EQ(J13.Points, 13);
+  EXPECT_EQ(J13.WindowSize, 5);
+
+  const Benchmark &GA = findBenchmark("Gaussian");
+  EXPECT_EQ(GA.Points, 25);
+  EXPECT_EQ(GA.LargeExtents, (Extents{8192, 8192}));
+
+  EXPECT_EQ(allBenchmarks().size(), 14u);
+  int Fig7 = 0, Fig8 = 0;
+  for (const Benchmark &B : allBenchmarks()) {
+    Fig7 += B.InFigure7;
+    Fig8 += B.InFigure8;
+  }
+  EXPECT_EQ(Fig7, 6);
+  EXPECT_EQ(Fig8, 8);
+}
+
+} // namespace

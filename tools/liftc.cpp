@@ -1,0 +1,289 @@
+//===- liftc.cpp - Command-line driver for the Lift stencil compiler -------===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+// A small driver exposing the pipeline on the command line:
+//
+//   liftc list
+//   liftc show  <benchmark>
+//   liftc lower <benchmark> [variant options]
+//   liftc emit  <benchmark> [variant options]
+//   liftc run   <benchmark> [variant options] [--extents a,b,c]
+//   liftc tune  <benchmark> [--device <name>] [--large]
+//
+// Variant options: --tile <v> --local --unroll --coarsen <c>
+//                  --tile-coarsen <c>
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/AccessAnalysis.h"
+#include "codegen/Runner.h"
+#include "ir/TypeInference.h"
+#include "ocl/Emitter.h"
+#include "rewrite/Lowering.h"
+#include "stencil/Benchmarks.h"
+#include "tuner/Tuner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace lift;
+using namespace lift::stencil;
+using namespace lift::rewrite;
+using namespace lift::codegen;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: liftc <command> [args]\n"
+      "  list                          list available benchmarks\n"
+      "  show <bench>                  print the high-level Lift IR\n"
+      "  lower <bench> [variant]       print the lowered (OpenCL-level) IR\n"
+      "  emit <bench> [variant]        print generated OpenCL C\n"
+      "  analyze <bench> [variant]     coalescing report per access\n"
+      "  run <bench> [variant] [--extents a,b,c]\n"
+      "                                execute on the simulator\n"
+      "  tune <bench> [--device <NvidiaK20c|AmdHd7970|MaliT628>] [--large]\n"
+      "                                search the implementation space\n"
+      "variant: --tile <v> [--local] [--tile-coarsen <c>] | --coarsen <c>;"
+      " plus [--unroll]\n");
+  return 1;
+}
+
+struct Args {
+  std::string Command;
+  std::string Bench;
+  LoweringOptions Options;
+  Extents ExtentsOverride;
+  std::string Device = "NvidiaK20c";
+  bool Large = false;
+};
+
+bool parseArgs(int Argc, char **Argv, Args &A) {
+  if (Argc < 2)
+    return false;
+  A.Command = Argv[1];
+  int I = 2;
+  if (A.Command != "list") {
+    if (I >= Argc)
+      return false;
+    A.Bench = Argv[I++];
+  }
+  for (; I < Argc; ++I) {
+    std::string Opt = Argv[I];
+    auto NextInt = [&](std::int64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = std::atoll(Argv[++I]);
+      return true;
+    };
+    if (Opt == "--tile") {
+      A.Options.Tile = true;
+      if (!NextInt(A.Options.TileOutputs))
+        return false;
+    } else if (Opt == "--local") {
+      A.Options.UseLocalMem = true;
+    } else if (Opt == "--unroll") {
+      A.Options.UnrollReduce = true;
+    } else if (Opt == "--coarsen") {
+      if (!NextInt(A.Options.Coarsen))
+        return false;
+    } else if (Opt == "--tile-coarsen") {
+      if (!NextInt(A.Options.TileCoarsen))
+        return false;
+    } else if (Opt == "--large") {
+      A.Large = true;
+    } else if (Opt == "--device") {
+      if (I + 1 >= Argc)
+        return false;
+      A.Device = Argv[++I];
+    } else if (Opt == "--extents") {
+      if (I + 1 >= Argc)
+        return false;
+      std::string S = Argv[++I];
+      std::size_t Pos = 0;
+      while (Pos < S.size()) {
+        std::size_t Comma = S.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = S.size();
+        A.ExtentsOverride.push_back(
+            std::atoll(S.substr(Pos, Comma - Pos).c_str()));
+        Pos = Comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", Opt.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+ocl::DeviceSpec findDevice(const std::string &Name) {
+  for (const ocl::DeviceSpec &D : ocl::paperDevices())
+    if (D.Name == Name)
+      return D;
+  std::fprintf(stderr, "unknown device %s, using NvidiaK20c\n",
+               Name.c_str());
+  return ocl::deviceNvidiaK20c();
+}
+
+int cmdList() {
+  std::printf("%-14s %-4s %-4s %-7s %s\n", "name", "dim", "pts", "grids",
+              "sizes");
+  for (const Benchmark &B : allBenchmarks()) {
+    std::string Sizes;
+    for (std::size_t D = 0; D != B.SmallExtents.size(); ++D)
+      Sizes += (D ? "x" : "") + std::to_string(B.SmallExtents[D]);
+    std::printf("%-14s %-4u %-4d %-7d %s\n", B.Name.c_str(), B.Dims,
+                B.Points, B.NumGrids, Sizes.c_str());
+  }
+  return 0;
+}
+
+ir::Program lowerOrDie(const Benchmark &B, const BenchmarkInstance &I,
+                       const LoweringOptions &O) {
+  ir::Program Low = lowerStencil(I.P, O);
+  if (!Low) {
+    std::fprintf(stderr,
+                 "error: options '%s' do not apply to benchmark %s\n",
+                 O.describe().c_str(), B.Name.c_str());
+    std::exit(1);
+  }
+  return Low;
+}
+
+int cmdRun(const Args &A) {
+  const Benchmark &B = findBenchmark(A.Bench);
+  BenchmarkInstance I = B.Build();
+  ir::Program Low = lowerOrDie(B, I, A.Options);
+  Compiled C = compileProgram(Low, B.Name);
+
+  Extents E = A.ExtentsOverride.empty() ? B.MeasureExtents
+                                        : A.ExtentsOverride;
+  if (E.size() != B.Dims) {
+    std::fprintf(stderr, "error: %s needs %u extents\n", B.Name.c_str(),
+                 B.Dims);
+    return 1;
+  }
+  std::vector<std::vector<float>> Inputs = makeBenchmarkInputs(B, E);
+  RunResult R = runCompiled(C, Inputs, makeSizeEnv(I, E));
+
+  // Validate against the independent golden implementation.
+  std::vector<float> Want = B.Golden(Inputs, E);
+  double MaxErr = 0;
+  for (std::size_t X = 0; X != Want.size(); ++X)
+    MaxErr = std::max(MaxErr, double(std::abs(R.Output[X] - Want[X])));
+
+  std::printf("variant           %s\n", A.Options.describe().c_str());
+  std::printf("grid              ");
+  for (std::size_t D = 0; D != E.size(); ++D)
+    std::printf("%s%lld", D ? "x" : "", (long long)E[D]);
+  std::printf(" (%lld points)\n", (long long)totalElems(E));
+  std::printf("max |err| vs golden  %.3g\n", MaxErr);
+  const ocl::ExecCounters &Ct = R.Counters;
+  std::printf("global loads      %llu (line misses %llu)\n",
+              (unsigned long long)Ct.GlobalLoads,
+              (unsigned long long)Ct.GlobalLoadLineMisses);
+  std::printf("global stores     %llu\n",
+              (unsigned long long)Ct.GlobalStores);
+  std::printf("local accesses    %llu\n",
+              (unsigned long long)(Ct.LocalLoads + Ct.LocalStores));
+  std::printf("user-fun flops    %llu\n", (unsigned long long)Ct.Flops);
+  std::printf("barriers          %llu\n", (unsigned long long)Ct.Barriers);
+  return MaxErr < 1e-3 ? 0 : 1;
+}
+
+int cmdTune(const Args &A) {
+  const Benchmark &B = findBenchmark(A.Bench);
+  ocl::DeviceSpec Dev = findDevice(A.Device);
+  tuner::TuningProblem P = tuner::makeProblem(B, A.Large);
+  tuner::TuneResult R = tuner::tuneStencil(P, Dev, tuner::liftSpace());
+  std::sort(R.All.begin(), R.All.end(),
+            [](const tuner::Evaluated &X, const tuner::Evaluated &Y) {
+              return X.GElemsPerSec > Y.GElemsPerSec;
+            });
+  std::printf("tuning %s on %s (target ", B.Name.c_str(), Dev.Name.c_str());
+  for (std::size_t D = 0; D != P.Target.size(); ++D)
+    std::printf("%s%lld", D ? "x" : "", (long long)P.Target[D]);
+  std::printf(")\n%-30s %12s\n", "variant", "GElem/s");
+  for (const tuner::Evaluated &E : R.All)
+    std::printf("%-30s %12.3f%s\n", E.C.describe().c_str(), E.GElemsPerSec,
+                &E == &R.All.front() ? "   <-- best" : "");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Args A;
+  if (!parseArgs(Argc, Argv, A))
+    return usage();
+
+  if (A.Command == "list")
+    return cmdList();
+
+  if (A.Command == "show") {
+    const Benchmark &B = findBenchmark(A.Bench);
+    BenchmarkInstance I = B.Build();
+    ir::TypePtr T = ir::inferTypes(I.P);
+    std::printf("%s\n\nresult type: %s\n", ir::toString(I.P).c_str(),
+                T->toString().c_str());
+    return 0;
+  }
+
+  if (A.Command == "lower") {
+    const Benchmark &B = findBenchmark(A.Bench);
+    BenchmarkInstance I = B.Build();
+    ir::Program Low = lowerOrDie(B, I, A.Options);
+    std::printf("%s\n", ir::toString(Low).c_str());
+    return 0;
+  }
+
+  if (A.Command == "emit") {
+    const Benchmark &B = findBenchmark(A.Bench);
+    BenchmarkInstance I = B.Build();
+    ir::Program Low = lowerOrDie(B, I, A.Options);
+    Compiled C = compileProgram(Low, B.Name);
+    std::printf("%s", ocl::emitOpenCL(C.K).c_str());
+    return 0;
+  }
+
+  if (A.Command == "analyze") {
+    const Benchmark &B = findBenchmark(A.Bench);
+    BenchmarkInstance I = B.Build();
+    ir::Program Low = lowerOrDie(B, I, A.Options);
+    Compiled C = compileProgram(Low, B.Name);
+    Extents E = A.ExtentsOverride.empty() ? B.MeasureExtents
+                                          : A.ExtentsOverride;
+    AccessReport R = analyzeAccesses(C.K, makeSizeEnv(I, E));
+    std::printf("%-6s %-8s %-12s %8s  %s\n", "kind", "buffer", "pattern",
+                "stride", "index");
+    for (const AccessSite &S : R.Sites)
+      std::printf("%-6s %-8s %-12s %8lld  %s\n",
+                  S.IsStore ? "store" : "load", S.BufferName.c_str(),
+                  accessPatternName(S.Pattern), (long long)S.Stride,
+                  S.Index->toString().c_str());
+    std::printf("summary: %d coalesced, %d uniform, %d strided, "
+                "%d irregular, %d sequential -> %s\n",
+                R.count(AccessPattern::Coalesced),
+                R.count(AccessPattern::Uniform),
+                R.count(AccessPattern::Strided),
+                R.count(AccessPattern::Irregular),
+                R.count(AccessPattern::Sequential),
+                R.fullyCoalesced() ? "fully coalesced" : "NOT coalesced");
+    return 0;
+  }
+
+  if (A.Command == "run")
+    return cmdRun(A);
+  if (A.Command == "tune")
+    return cmdTune(A);
+
+  return usage();
+}
