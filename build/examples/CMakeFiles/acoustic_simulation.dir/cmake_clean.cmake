@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_simulation.dir/acoustic_simulation.cpp.o"
+  "CMakeFiles/acoustic_simulation.dir/acoustic_simulation.cpp.o.d"
+  "acoustic_simulation"
+  "acoustic_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

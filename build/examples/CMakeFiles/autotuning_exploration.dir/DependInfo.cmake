@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/autotuning_exploration.cpp" "examples/CMakeFiles/autotuning_exploration.dir/autotuning_exploration.cpp.o" "gcc" "examples/CMakeFiles/autotuning_exploration.dir/autotuning_exploration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/lift_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/lift_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/lift_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/lift_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/lift_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/lift_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lift_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/lift_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotuning_exploration.dir/autotuning_exploration.cpp.o"
+  "CMakeFiles/autotuning_exploration.dir/autotuning_exploration.cpp.o.d"
+  "autotuning_exploration"
+  "autotuning_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotuning_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

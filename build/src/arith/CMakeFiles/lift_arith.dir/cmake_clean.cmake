@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_arith.dir/ArithExpr.cpp.o"
+  "CMakeFiles/lift_arith.dir/ArithExpr.cpp.o.d"
+  "liblift_arith.a"
+  "liblift_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_baselines.dir/References.cpp.o"
+  "CMakeFiles/lift_baselines.dir/References.cpp.o.d"
+  "liblift_baselines.a"
+  "liblift_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_codegen.dir/AccessAnalysis.cpp.o"
+  "CMakeFiles/lift_codegen.dir/AccessAnalysis.cpp.o.d"
+  "CMakeFiles/lift_codegen.dir/CodeGen.cpp.o"
+  "CMakeFiles/lift_codegen.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/lift_codegen.dir/Runner.cpp.o"
+  "CMakeFiles/lift_codegen.dir/Runner.cpp.o.d"
+  "CMakeFiles/lift_codegen.dir/View.cpp.o"
+  "CMakeFiles/lift_codegen.dir/View.cpp.o.d"
+  "liblift_codegen.a"
+  "liblift_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

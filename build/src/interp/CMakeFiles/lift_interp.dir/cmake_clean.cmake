@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/lift_interp.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/lift_interp.dir/Value.cpp.o"
+  "CMakeFiles/lift_interp.dir/Value.cpp.o.d"
+  "liblift_interp.a"
+  "liblift_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

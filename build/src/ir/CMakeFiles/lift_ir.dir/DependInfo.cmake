@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Expr.cpp" "src/ir/CMakeFiles/lift_ir.dir/Expr.cpp.o" "gcc" "src/ir/CMakeFiles/lift_ir.dir/Expr.cpp.o.d"
+  "/root/repo/src/ir/TypeInference.cpp" "src/ir/CMakeFiles/lift_ir.dir/TypeInference.cpp.o" "gcc" "src/ir/CMakeFiles/lift_ir.dir/TypeInference.cpp.o.d"
+  "/root/repo/src/ir/Types.cpp" "src/ir/CMakeFiles/lift_ir.dir/Types.cpp.o" "gcc" "src/ir/CMakeFiles/lift_ir.dir/Types.cpp.o.d"
+  "/root/repo/src/ir/UserFun.cpp" "src/ir/CMakeFiles/lift_ir.dir/UserFun.cpp.o" "gcc" "src/ir/CMakeFiles/lift_ir.dir/UserFun.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arith/CMakeFiles/lift_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

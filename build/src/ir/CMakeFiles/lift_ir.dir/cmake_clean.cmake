@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_ir.dir/Expr.cpp.o"
+  "CMakeFiles/lift_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/lift_ir.dir/TypeInference.cpp.o"
+  "CMakeFiles/lift_ir.dir/TypeInference.cpp.o.d"
+  "CMakeFiles/lift_ir.dir/Types.cpp.o"
+  "CMakeFiles/lift_ir.dir/Types.cpp.o.d"
+  "CMakeFiles/lift_ir.dir/UserFun.cpp.o"
+  "CMakeFiles/lift_ir.dir/UserFun.cpp.o.d"
+  "liblift_ir.a"
+  "liblift_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

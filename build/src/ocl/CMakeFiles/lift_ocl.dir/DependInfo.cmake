@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocl/Device.cpp" "src/ocl/CMakeFiles/lift_ocl.dir/Device.cpp.o" "gcc" "src/ocl/CMakeFiles/lift_ocl.dir/Device.cpp.o.d"
+  "/root/repo/src/ocl/Emitter.cpp" "src/ocl/CMakeFiles/lift_ocl.dir/Emitter.cpp.o" "gcc" "src/ocl/CMakeFiles/lift_ocl.dir/Emitter.cpp.o.d"
+  "/root/repo/src/ocl/KernelAst.cpp" "src/ocl/CMakeFiles/lift_ocl.dir/KernelAst.cpp.o" "gcc" "src/ocl/CMakeFiles/lift_ocl.dir/KernelAst.cpp.o.d"
+  "/root/repo/src/ocl/Sim.cpp" "src/ocl/CMakeFiles/lift_ocl.dir/Sim.cpp.o" "gcc" "src/ocl/CMakeFiles/lift_ocl.dir/Sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lift_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/lift_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_ocl.dir/Device.cpp.o"
+  "CMakeFiles/lift_ocl.dir/Device.cpp.o.d"
+  "CMakeFiles/lift_ocl.dir/Emitter.cpp.o"
+  "CMakeFiles/lift_ocl.dir/Emitter.cpp.o.d"
+  "CMakeFiles/lift_ocl.dir/KernelAst.cpp.o"
+  "CMakeFiles/lift_ocl.dir/KernelAst.cpp.o.d"
+  "CMakeFiles/lift_ocl.dir/Sim.cpp.o"
+  "CMakeFiles/lift_ocl.dir/Sim.cpp.o.d"
+  "liblift_ocl.a"
+  "liblift_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_rewrite.dir/Exploration.cpp.o"
+  "CMakeFiles/lift_rewrite.dir/Exploration.cpp.o.d"
+  "CMakeFiles/lift_rewrite.dir/Lowering.cpp.o"
+  "CMakeFiles/lift_rewrite.dir/Lowering.cpp.o.d"
+  "CMakeFiles/lift_rewrite.dir/Rules.cpp.o"
+  "CMakeFiles/lift_rewrite.dir/Rules.cpp.o.d"
+  "liblift_rewrite.a"
+  "liblift_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

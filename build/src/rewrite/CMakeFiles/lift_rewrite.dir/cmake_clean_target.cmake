@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblift_rewrite.a"
+)

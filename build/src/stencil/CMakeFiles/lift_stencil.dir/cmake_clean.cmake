@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_stencil.dir/Benchmarks.cpp.o"
+  "CMakeFiles/lift_stencil.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/lift_stencil.dir/StencilOps.cpp.o"
+  "CMakeFiles/lift_stencil.dir/StencilOps.cpp.o.d"
+  "liblift_stencil.a"
+  "liblift_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

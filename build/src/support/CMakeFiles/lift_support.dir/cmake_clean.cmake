@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_support.dir/Support.cpp.o"
+  "CMakeFiles/lift_support.dir/Support.cpp.o.d"
+  "liblift_support.a"
+  "liblift_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

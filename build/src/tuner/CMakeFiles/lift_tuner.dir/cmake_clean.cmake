@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_tuner.dir/Tuner.cpp.o"
+  "CMakeFiles/lift_tuner.dir/Tuner.cpp.o.d"
+  "liblift_tuner.a"
+  "liblift_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

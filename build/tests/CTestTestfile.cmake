@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(liftc_list "/root/repo/build/tools/liftc" "list")
+set_tests_properties(liftc_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;22;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(liftc_show "/root/repo/build/tools/liftc" "show" "Jacobi2D5pt")
+set_tests_properties(liftc_show PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;23;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(liftc_emit_tiled "/root/repo/build/tools/liftc" "emit" "Gaussian" "--tile" "16" "--local")
+set_tests_properties(liftc_emit_tiled PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(liftc_analyze "/root/repo/build/tools/liftc" "analyze" "Heat")
+set_tests_properties(liftc_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(liftc_run "/root/repo/build/tools/liftc" "run" "Stencil2D" "--extents" "64,64" "--unroll")
+set_tests_properties(liftc_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;27;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(liftc_run_tiled_zip "/root/repo/build/tools/liftc" "run" "Hotspot2D" "--tile" "16" "--local" "--extents" "64,64")
+set_tests_properties(liftc_run_tiled_zip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+subdirs("arith")
+subdirs("ir")
+subdirs("interp")
+subdirs("codegen")
+subdirs("rewrite")
+subdirs("stencil")
+subdirs("tuner")
+subdirs("ocl")
+subdirs("support")
+subdirs("baselines")

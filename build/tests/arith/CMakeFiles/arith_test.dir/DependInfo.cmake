@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arith/ArithExprTest.cpp" "tests/arith/CMakeFiles/arith_test.dir/ArithExprTest.cpp.o" "gcc" "tests/arith/CMakeFiles/arith_test.dir/ArithExprTest.cpp.o.d"
+  "/root/repo/tests/arith/RangeTest.cpp" "tests/arith/CMakeFiles/arith_test.dir/RangeTest.cpp.o" "gcc" "tests/arith/CMakeFiles/arith_test.dir/RangeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arith/CMakeFiles/lift_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_test.dir/AccessAnalysisTest.cpp.o"
+  "CMakeFiles/codegen_test.dir/AccessAnalysisTest.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/CodeGenTest.cpp.o"
+  "CMakeFiles/codegen_test.dir/CodeGenTest.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/EmitterTest.cpp.o"
+  "CMakeFiles/codegen_test.dir/EmitterTest.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/FuzzViewsTest.cpp.o"
+  "CMakeFiles/codegen_test.dir/FuzzViewsTest.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/GoldenKernelTest.cpp.o"
+  "CMakeFiles/codegen_test.dir/GoldenKernelTest.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/ViewTest.cpp.o"
+  "CMakeFiles/codegen_test.dir/ViewTest.cpp.o.d"
+  "codegen_test"
+  "codegen_test.pdb"
+  "codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_test.dir/ExprTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ExprTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/TypeErrorsTest.cpp.o"
+  "CMakeFiles/ir_test.dir/TypeErrorsTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/TypeInferenceTest.cpp.o"
+  "CMakeFiles/ir_test.dir/TypeInferenceTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/TypesTest.cpp.o"
+  "CMakeFiles/ir_test.dir/TypesTest.cpp.o.d"
+  "ir_test"
+  "ir_test.pdb"
+  "ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

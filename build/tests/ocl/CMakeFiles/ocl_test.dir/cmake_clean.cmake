@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocl_test.dir/DeviceTest.cpp.o"
+  "CMakeFiles/ocl_test.dir/DeviceTest.cpp.o.d"
+  "CMakeFiles/ocl_test.dir/SimTest.cpp.o"
+  "CMakeFiles/ocl_test.dir/SimTest.cpp.o.d"
+  "ocl_test"
+  "ocl_test.pdb"
+  "ocl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

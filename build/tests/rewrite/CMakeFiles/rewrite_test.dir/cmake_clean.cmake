@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_test.dir/ExplorationTest.cpp.o"
+  "CMakeFiles/rewrite_test.dir/ExplorationTest.cpp.o.d"
+  "CMakeFiles/rewrite_test.dir/LoweringTest.cpp.o"
+  "CMakeFiles/rewrite_test.dir/LoweringTest.cpp.o.d"
+  "CMakeFiles/rewrite_test.dir/RulesTest.cpp.o"
+  "CMakeFiles/rewrite_test.dir/RulesTest.cpp.o.d"
+  "CMakeFiles/rewrite_test.dir/SimplifyTest.cpp.o"
+  "CMakeFiles/rewrite_test.dir/SimplifyTest.cpp.o.d"
+  "rewrite_test"
+  "rewrite_test.pdb"
+  "rewrite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

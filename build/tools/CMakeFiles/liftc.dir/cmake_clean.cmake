@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liftc.dir/liftc.cpp.o"
+  "CMakeFiles/liftc.dir/liftc.cpp.o.d"
+  "liftc"
+  "liftc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liftc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
