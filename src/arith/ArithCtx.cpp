@@ -1,0 +1,86 @@
+//===- ArithCtx.cpp - Hash-consing arena for ArithExpr ---------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arith/ArithCtx.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+
+using namespace lift;
+
+using Kind = ArithExpr::Kind;
+
+/// Computes the structural hash of a node from its fields; operand
+/// hashes are already cached, so this is O(#operands).
+static std::size_t hashFields(Kind K, std::int64_t CstVal, unsigned VarId,
+                              const std::vector<AExpr> &Operands) {
+  std::size_t H = hashCombine(0x51f7, static_cast<std::size_t>(K));
+  switch (K) {
+  case Kind::Cst:
+    return hashCombine(H, std::hash<std::int64_t>()(CstVal));
+  case Kind::Var:
+    return hashCombine(H, VarId);
+  default:
+    for (const AExpr &Op : Operands)
+      H = hashCombine(H, Op->hash());
+    return H;
+  }
+}
+
+bool ArithCtx::TableEq::operator()(const NodeKey &K, const AExpr &N) const {
+  if (K.K != N->getKind())
+    return false;
+  switch (K.K) {
+  case Kind::Cst:
+    return K.CstVal == N->getCst();
+  case Kind::Var:
+    return K.VarId == N->getVarId();
+  default: {
+    const std::vector<AExpr> &A = *K.Operands;
+    const std::vector<AExpr> &B = N->getOperands();
+    if (A.size() != B.size())
+      return false;
+    // Operands are interned, so identity comparison is structural.
+    for (std::size_t I = 0, E = A.size(); I != E; ++I)
+      if (A[I].get() != B[I].get())
+        return false;
+    return true;
+  }
+  }
+}
+
+ArithCtx &ArithCtx::global() {
+  // Leaked intentionally: interned nodes may be referenced from other
+  // function-local statics whose destruction order is unspecified.
+  static ArithCtx *Ctx = new ArithCtx();
+  return *Ctx;
+}
+
+AExpr ArithCtx::intern(Kind K, std::int64_t CstVal, std::string VarName,
+                       unsigned VarId, Range VarRange,
+                       std::vector<AExpr> Operands) {
+  NodeKey Key{K, CstVal, VarId, &Operands,
+              hashFields(K, CstVal, VarId, Operands)};
+  auto It = Table.find(Key);
+  if (It != Table.end()) {
+    ++Stats.Hits;
+    return *It;
+  }
+  ++Stats.Misses;
+  auto Node = std::shared_ptr<ArithExpr>(new ArithExpr());
+  Node->K = K;
+  Node->CstVal = CstVal;
+  Node->VarName = std::move(VarName);
+  Node->VarId = VarId;
+  Node->VarRange = VarRange;
+  Node->Operands = std::move(Operands);
+  Node->HashVal = Key.Hash;
+  Table.insert(Node);
+  return Node;
+}
+
+void ArithCtx::clear() { Table.clear(); }

@@ -1,0 +1,114 @@
+//===- ArithCtx.h - Hash-consing arena for ArithExpr -----------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hash-consing arena behind the ArithExpr factory functions.
+///
+/// Every node built through cst/var/add/mul/floorDiv/floorMod/amin/amax
+/// is canonicalized by the simplifier and then *interned* here: the
+/// arena keeps one shared node per distinct structure, so two
+/// structurally equal expressions constructed independently are
+/// pointer-equal. This turns the equality checks that dominate the
+/// rewrite engine (like-term merging, type checking of symbolic sizes,
+/// program deduplication during exploration) into single pointer
+/// comparisons, and lets range analysis and substitution memoize on
+/// node identity.
+///
+/// Lifetime rules:
+///  - The arena owns one shared_ptr per interned node, so interned
+///    nodes live at least as long as the arena (the process, for the
+///    global arena). AExpr handles held by clients additionally keep
+///    their nodes alive independently.
+///  - clear() drops the arena's references. Existing AExpr handles
+///    remain valid, but the structural-equality ⇔ pointer-equality
+///    guarantee only holds among nodes interned in the same arena
+///    generation; exprEquals() stays correct across generations by
+///    falling back to a structural walk.
+///  - The arena is not thread-safe; the compiler is single-threaded by
+///    design (one arena per process via ArithCtx::global()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_ARITH_ARITHCTX_H
+#define LIFT_ARITH_ARITHCTX_H
+
+#include "arith/ArithExpr.h"
+
+#include <cstddef>
+#include <unordered_set>
+
+namespace lift {
+
+/// Counters describing arena behaviour; used by tests and benchmarks
+/// to assert that interning actually deduplicates.
+struct ArithCtxStats {
+  std::size_t Hits = 0;   ///< factory calls answered from the table
+  std::size_t Misses = 0; ///< distinct nodes constructed
+};
+
+/// The hash-consing arena. All ArithExpr factories funnel through
+/// intern() via makeNode(); client code normally never touches this
+/// class except to inspect stats() or to clear() between independent
+/// compilation sessions.
+class ArithCtx {
+public:
+  /// The process-wide arena used by the factory functions.
+  static ArithCtx &global();
+
+  /// Returns the canonical node for the given field values, creating
+  /// and caching it on first use. Operands must already be interned
+  /// (guaranteed when they come from the factory functions).
+  AExpr intern(ArithExpr::Kind K, std::int64_t CstVal, std::string VarName,
+               unsigned VarId, Range VarRange, std::vector<AExpr> Operands);
+
+  /// Number of distinct live nodes in the table.
+  std::size_t size() const { return Table.size(); }
+
+  const ArithCtxStats &stats() const { return Stats; }
+  void resetStats() { Stats = ArithCtxStats(); }
+
+  /// Drops all interned nodes (handles held by clients stay valid; see
+  /// the lifetime rules in the file comment).
+  void clear();
+
+private:
+  /// Lookup key describing a node without allocating it.
+  struct NodeKey {
+    ArithExpr::Kind K;
+    std::int64_t CstVal;
+    unsigned VarId;
+    const std::vector<AExpr> *Operands;
+    std::size_t Hash;
+  };
+
+  struct TableHash {
+    using is_transparent = void;
+    std::size_t operator()(const AExpr &N) const { return N->hash(); }
+    std::size_t operator()(const NodeKey &K) const { return K.Hash; }
+  };
+
+  struct TableEq {
+    using is_transparent = void;
+    // Two live table entries are distinct by construction (an entry is
+    // only inserted after a failed structural lookup), so identity
+    // comparison is exact here.
+    bool operator()(const AExpr &A, const AExpr &B) const {
+      return A.get() == B.get();
+    }
+    bool operator()(const NodeKey &K, const AExpr &N) const;
+    bool operator()(const AExpr &N, const NodeKey &K) const {
+      return (*this)(K, N);
+    }
+  };
+
+  std::unordered_set<AExpr, TableHash, TableEq> Table;
+  ArithCtxStats Stats;
+};
+
+} // namespace lift
+
+#endif // LIFT_ARITH_ARITHCTX_H

@@ -6,6 +6,8 @@
 
 #include "arith/ArithExpr.h"
 
+#include "arith/ArithCtx.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
@@ -20,18 +22,13 @@ using Kind = ArithExpr::Kind;
 
 namespace lift {
 
-/// Builds a node verbatim; internal to this file. All public factories
-/// funnel through here after simplification.
+/// Interns a canonical node in the global arena. All public factories
+/// funnel through here after simplification, so structurally equal
+/// expressions share one node (and one cached hash / range).
 AExpr makeNode(Kind K, std::int64_t CstVal, std::string VarName,
                unsigned VarId, Range VarRange, std::vector<AExpr> Operands) {
-  auto Node = std::shared_ptr<ArithExpr>(new ArithExpr());
-  Node->K = K;
-  Node->CstVal = CstVal;
-  Node->VarName = std::move(VarName);
-  Node->VarId = VarId;
-  Node->VarRange = VarRange;
-  Node->Operands = std::move(Operands);
-  return Node;
+  return ArithCtx::global().intern(K, CstVal, std::move(VarName), VarId,
+                                   VarRange, std::move(Operands));
 }
 
 } // namespace lift
@@ -103,21 +100,15 @@ int lift::compareExprs(const AExpr &A, const AExpr &B) {
 }
 
 bool lift::exprEquals(const AExpr &A, const AExpr &B) {
+  // Interned nodes: structural equality == pointer equality, and a hash
+  // mismatch settles inequality without walking. The structural walk
+  // only runs for equal hashes on distinct nodes (hash collisions, or
+  // nodes from different arena generations after ArithCtx::clear()).
+  if (A.get() == B.get())
+    return true;
+  if (A->hash() != B->hash())
+    return false;
   return compareExprs(A, B) == 0;
-}
-
-std::size_t ArithExpr::hash() const {
-  std::size_t H = hashCombine(0x51f7, static_cast<std::size_t>(K));
-  switch (K) {
-  case Kind::Cst:
-    return hashCombine(H, std::hash<std::int64_t>()(CstVal));
-  case Kind::Var:
-    return hashCombine(H, VarId);
-  default:
-    for (const AExpr &Op : Operands)
-      H = hashCombine(H, Op->hash());
-    return H;
-  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -148,6 +139,15 @@ static Range mulRanges(const Range &A, const Range &B) {
 }
 
 Range ArithExpr::getRange() const {
+  if (RangeCached)
+    return CachedRange;
+  Range R = computeRange();
+  CachedRange = R;
+  RangeCached = true;
+  return R;
+}
+
+Range ArithExpr::computeRange() const {
   switch (K) {
   case Kind::Cst:
     return Range(CstVal, CstVal);
@@ -666,8 +666,15 @@ std::int64_t ArithExpr::evaluate(
   unreachable("covered switch");
 }
 
-AExpr lift::substitute(const AExpr &E,
-                       const std::unordered_map<unsigned, AExpr> &Subst) {
+namespace {
+/// Per-call substitution memo keyed on interned node identity: subtrees
+/// shared through the arena are rewritten once per substitute() call.
+using SubstMemo = std::unordered_map<const ArithExpr *, AExpr>;
+} // namespace
+
+static AExpr substituteRec(const AExpr &E,
+                           const std::unordered_map<unsigned, AExpr> &Subst,
+                           SubstMemo &Memo) {
   switch (E->getKind()) {
   case Kind::Cst:
     return E;
@@ -675,32 +682,55 @@ AExpr lift::substitute(const AExpr &E,
     auto It = Subst.find(E->getVarId());
     return It == Subst.end() ? E : It->second;
   }
+  default:
+    break;
+  }
+  auto Cached = Memo.find(E.get());
+  if (Cached != Memo.end())
+    return Cached->second;
+  AExpr Result;
+  switch (E->getKind()) {
   case Kind::Add: {
     AExpr Sum = cst(0);
     for (const AExpr &Op : E->getOperands())
-      Sum = add(Sum, substitute(Op, Subst));
-    return Sum;
+      Sum = add(Sum, substituteRec(Op, Subst, Memo));
+    Result = Sum;
+    break;
   }
   case Kind::Mul: {
     AExpr Product = cst(1);
     for (const AExpr &Op : E->getOperands())
-      Product = mul(Product, substitute(Op, Subst));
-    return Product;
+      Product = mul(Product, substituteRec(Op, Subst, Memo));
+    Result = Product;
+    break;
   }
   case Kind::Div:
-    return floorDiv(substitute(E->getOperands()[0], Subst),
-                    substitute(E->getOperands()[1], Subst));
+    Result = floorDiv(substituteRec(E->getOperands()[0], Subst, Memo),
+                      substituteRec(E->getOperands()[1], Subst, Memo));
+    break;
   case Kind::Mod:
-    return floorMod(substitute(E->getOperands()[0], Subst),
-                    substitute(E->getOperands()[1], Subst));
+    Result = floorMod(substituteRec(E->getOperands()[0], Subst, Memo),
+                      substituteRec(E->getOperands()[1], Subst, Memo));
+    break;
   case Kind::Min:
-    return amin(substitute(E->getOperands()[0], Subst),
-                substitute(E->getOperands()[1], Subst));
+    Result = amin(substituteRec(E->getOperands()[0], Subst, Memo),
+                  substituteRec(E->getOperands()[1], Subst, Memo));
+    break;
   case Kind::Max:
-    return amax(substitute(E->getOperands()[0], Subst),
-                substitute(E->getOperands()[1], Subst));
+    Result = amax(substituteRec(E->getOperands()[0], Subst, Memo),
+                  substituteRec(E->getOperands()[1], Subst, Memo));
+    break;
+  default:
+    unreachable("covered switch");
   }
-  unreachable("covered switch");
+  Memo.emplace(E.get(), Result);
+  return Result;
+}
+
+AExpr lift::substitute(const AExpr &E,
+                       const std::unordered_map<unsigned, AExpr> &Subst) {
+  SubstMemo Memo;
+  return substituteRec(E, Subst, Memo);
 }
 
 void lift::collectVars(const AExpr &E, std::vector<unsigned> &Out) {

@@ -66,6 +66,11 @@ struct Range {
 /// sum-of-products normal form: Add nodes are flat sums of non-Add terms
 /// with like terms merged; Mul nodes are flat products with a leading
 /// constant and deterministically ordered symbolic factors.
+///
+/// Canonical nodes are hash-consed in an ArithCtx arena (ArithCtx.h):
+/// structurally equal expressions built through the factories are
+/// pointer-equal, structural hashes are precomputed at construction,
+/// and range analysis memoizes per node.
 class ArithExpr {
 public:
   enum class Kind {
@@ -102,6 +107,8 @@ public:
   }
 
   /// Computes a conservative value interval via interval analysis.
+  /// The result is memoized on the node (nodes are immutable, so the
+  /// interval is a pure function of identity).
   Range getRange() const;
 
   /// Evaluates with concrete variable bindings keyed by variable id.
@@ -113,8 +120,9 @@ public:
   /// expressions whose division operands are non-negative.
   std::string toString() const;
 
-  /// Structural hash, consistent with compareExprs equality.
-  std::size_t hash() const;
+  /// Structural hash, consistent with compareExprs equality. Computed
+  /// once at construction and cached, so this is O(1).
+  std::size_t hash() const { return HashVal; }
 
   // Factories are friends so the constructor can stay private and all
   // nodes are guaranteed to be simplified.
@@ -122,8 +130,15 @@ public:
                         unsigned VarId, Range VarRange,
                         std::vector<AExpr> Operands);
 
+  // The hash-consing arena allocates nodes and fills in the cached
+  // structural hash before publishing them.
+  friend class ArithCtx;
+
 private:
   ArithExpr() = default;
+
+  /// The uncached interval computation behind getRange().
+  Range computeRange() const;
 
   Kind K = Kind::Cst;
   std::int64_t CstVal = 0;
@@ -131,13 +146,20 @@ private:
   unsigned VarId = 0;
   Range VarRange;
   std::vector<AExpr> Operands;
+  std::size_t HashVal = 0;
+
+  // Range-analysis memo (see getRange).
+  mutable Range CachedRange;
+  mutable bool RangeCached = false;
 };
 
 /// Total structural order over expressions; returns <0, 0, >0.
 /// Equal expressions (0) are semantically identical.
 int compareExprs(const AExpr &A, const AExpr &B);
 
-/// Structural equality (compareExprs == 0).
+/// Structural equality (compareExprs == 0). O(1) for interned nodes:
+/// hash-consing makes structural equality coincide with pointer
+/// equality, and a hash mismatch settles inequality without a walk.
 bool exprEquals(const AExpr &A, const AExpr &B);
 
 //===----------------------------------------------------------------------===//
@@ -178,6 +200,8 @@ AExpr amax(AExpr A, AExpr B);
 AExpr clampIndex(AExpr I, AExpr N);
 
 /// Replaces variables (by id) with expressions, re-simplifying.
+/// Memoized on node identity within one call, so subtrees shared via
+/// interning are rewritten once.
 AExpr substitute(const AExpr &E,
                  const std::unordered_map<unsigned, AExpr> &Subst);
 

@@ -243,16 +243,22 @@ static KExprPtr resolveRec(const ViewPtr &V, ResolveState &S,
 
   case View::Kind::Memory: {
     // Linearize the pending indices (outermost on top) row-major
-    // through the buffer's logical array type.
-    AExpr Flat = cst(0);
+    // through the buffer's logical array type. Seeding Flat with the
+    // outermost index (instead of cst(0)) keeps the expression the
+    // canonical interned form without an add/mul round trip through
+    // the arena per dimension.
+    AExpr Flat;
     TypePtr T = V->MemType;
     while (T->getKind() == Type::Kind::Array) {
       assert(!S.IdxStack.empty() && "not enough indices for memory view");
       AExpr I = S.IdxStack.back();
       S.IdxStack.pop_back();
-      Flat = add(mul(Flat, T->getSize()), I);
+      Flat = Flat ? add(mul(std::move(Flat), T->getSize()), std::move(I))
+                  : std::move(I);
       T = T->getElem();
     }
+    if (!Flat)
+      Flat = cst(0); // zero-dimensional buffer: a single scalar cell
     assert(T->getKind() == Type::Kind::Scalar &&
            "memory views hold scalar-element arrays");
     assert(S.IdxStack.empty() && S.TupleStack.empty() &&

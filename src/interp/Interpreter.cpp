@@ -46,7 +46,18 @@ private:
   const SizeEnv &Sizes;
   std::unordered_map<const ParamExpr *, Value> Env;
 
-  std::int64_t evalSize(const AExpr &A) { return A->evaluate(Sizes); }
+  /// Size expressions are hash-consed (one node per distinct
+  /// structure), so caching by node identity makes every repeated
+  /// evaluation of the same symbolic size — e.g. a slide step queried
+  /// once per window — a single hash-map hit instead of a tree walk.
+  std::unordered_map<const ArithExpr *, std::int64_t> SizeMemo;
+
+  std::int64_t evalSize(const AExpr &A) {
+    auto [It, Inserted] = SizeMemo.try_emplace(A.get(), 0);
+    if (Inserted)
+      It->second = A->evaluate(Sizes);
+    return It->second;
+  }
 
   Value applyLambda(const LambdaPtr &L, std::vector<Value> Args) {
     assert(L->getParams().size() == Args.size() && "lambda arity");

@@ -1,0 +1,76 @@
+//===- StructuralHash.h - Structural hash/equality for the IR --*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alpha-invariant structural hashing and equality over IR expressions,
+/// programs and types.
+///
+/// The rewrite-space exploration (paper §1, §5) visits thousands of
+/// candidate programs and must deduplicate them; doing so by printed
+/// string form costs a full render plus a string hash per candidate.
+/// These visitors instead compute a structural fingerprint directly:
+///
+///  - Bound parameters hash and compare by *binding position* (de
+///    Bruijn-style), so alpha-renamed and freshly cloned programs
+///    coincide. Free parameters compare by node identity.
+///  - Symbolic payloads (split factors, slide sizes, pad amounts,
+///    array sizes) are hash-consed ArithExprs: they hash via their
+///    precomputed node hash and compare by interned pointer.
+///  - User functions compare by name, matching the printed-form
+///    convention used elsewhere.
+///
+/// The contract exploration relies on: structuralEquals(A, B) implies
+/// structuralHash(A) == structuralHash(B), and equality is exactly
+/// "same program modulo bound-parameter names". Hashes are stable
+/// within a process but NOT across processes (free parameters and
+/// variable ids are assigned in construction order), so they must not
+/// be persisted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_IR_STRUCTURALHASH_H
+#define LIFT_IR_STRUCTURALHASH_H
+
+#include "ir/Expr.h"
+
+#include <cstddef>
+
+namespace lift {
+namespace ir {
+
+/// Alpha-invariant structural hash of an expression tree. Lambdas hash
+/// their parameters by binding position and declared type; payload
+/// ArithExprs hash via their interned node hash.
+std::size_t structuralHash(const ExprPtr &E);
+
+/// Structural hash of a type; array sizes hash via their interned
+/// ArithExpr node hash, consistent with typeEquals.
+std::size_t structuralHash(const TypePtr &T);
+
+/// Alpha-invariant structural equality: true when \p A and \p B are the
+/// same program modulo bound-parameter naming. Free parameters must be
+/// the identical nodes; symbolic payloads compare via exprEquals
+/// (pointer comparison for interned nodes).
+bool structuralEquals(const ExprPtr &A, const ExprPtr &B);
+
+/// Hash functor for unordered containers keyed on expressions or
+/// programs (Program converts to ExprPtr).
+struct StructuralExprHash {
+  std::size_t operator()(const ExprPtr &E) const { return structuralHash(E); }
+};
+
+/// Matching equality functor.
+struct StructuralExprEq {
+  bool operator()(const ExprPtr &A, const ExprPtr &B) const {
+    return structuralEquals(A, B);
+  }
+};
+
+} // namespace ir
+} // namespace lift
+
+#endif // LIFT_IR_STRUCTURALHASH_H

@@ -34,21 +34,23 @@ const std::vector<TypePtr> &Type::getComponents() const {
 }
 
 TypePtr lift::ir::scalarT(ScalarKind SK) {
-  auto T = std::shared_ptr<Type>(new Type());
-  T->K = Type::Kind::Scalar;
-  T->SK = SK;
-  return T;
+  // Scalar types are interned: one shared node per kind, so the hot
+  // typeEquals checks in type inference hit the pointer-equality fast
+  // path and no allocation happens per call.
+  auto Make = [](ScalarKind K) {
+    auto T = std::shared_ptr<Type>(new Type());
+    T->K = Type::Kind::Scalar;
+    T->SK = K;
+    return T;
+  };
+  static TypePtr Float = Make(ScalarKind::Float);
+  static TypePtr Int = Make(ScalarKind::Int);
+  return SK == ScalarKind::Float ? Float : Int;
 }
 
-TypePtr lift::ir::floatT() {
-  static TypePtr T = scalarT(ScalarKind::Float);
-  return T;
-}
+TypePtr lift::ir::floatT() { return scalarT(ScalarKind::Float); }
 
-TypePtr lift::ir::intT() {
-  static TypePtr T = scalarT(ScalarKind::Int);
-  return T;
-}
+TypePtr lift::ir::intT() { return scalarT(ScalarKind::Int); }
 
 TypePtr lift::ir::arrayT(TypePtr Elem, AExpr Size) {
   assert(Elem && Size && "arrayT requires element type and size");

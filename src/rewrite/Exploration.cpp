@@ -6,6 +6,7 @@
 
 #include "rewrite/Exploration.h"
 
+#include "ir/StructuralHash.h"
 #include "ir/TypeInference.h"
 
 #include <deque>
@@ -91,7 +92,12 @@ std::vector<Derivation> lift::rewrite::explore(const Program &Start,
                                                const std::vector<Rule> &Rules,
                                                const ExplorationOptions &O) {
   std::vector<Derivation> Result;
-  std::unordered_set<std::string> Seen;
+  // Candidate programs are deduplicated by alpha-invariant structural
+  // hash and equality (ir/StructuralHash.h): no program is ever printed
+  // on this path. The set is only probed for membership, never
+  // iterated, so its (hash-dependent) internal order cannot influence
+  // the result.
+  std::unordered_set<ExprPtr, StructuralExprHash, StructuralExprEq> Seen;
 
   struct WorkItem {
     Program P;
@@ -102,7 +108,7 @@ std::vector<Derivation> lift::rewrite::explore(const Program &Start,
 
   Program First = cloneProgram(Start);
   inferTypes(First);
-  Seen.insert(toString(First));
+  Seen.insert(First);
   Result.push_back(Derivation{First, {}});
   Queue.push_back(WorkItem{First, {}, 0});
 
@@ -119,17 +125,19 @@ std::vector<Derivation> lift::rewrite::explore(const Program &Start,
         if (!NewBody)
           continue;
         Program Candidate = makeProgram(Item.P->getParams(), NewBody);
-        // Clone so derivations never share mutable type state, then
-        // dedupe structurally by the printed form (names of bound
-        // params are positional enough in practice to distinguish
-        // structure; collisions only drop duplicates).
+        // Probe the dedup set before paying for a deep clone and type
+        // inference: structural equality is alpha-invariant, so the
+        // raw candidate (still sharing subtrees with its parent) is an
+        // equivalent key, and duplicates — the common case in a
+        // saturating search — cost only a hash and a comparison.
+        if (Seen.find(Candidate) != Seen.end())
+          continue;
+        // Clone so derivations never share mutable type state.
         Candidate = cloneProgram(Candidate);
         // Types let rules check static validity constraints (e.g. the
         // tiling rule's exact-fit requirement on constant lengths).
         inferTypes(Candidate);
-        std::string Key = toString(Candidate);
-        if (!Seen.insert(Key).second)
-          continue;
+        Seen.insert(Candidate);
         std::vector<std::string> Applied = Item.Applied;
         Applied.push_back(R.Name);
         Result.push_back(Derivation{Candidate, Applied});

@@ -43,9 +43,19 @@ struct Derivation {
 
 /// Explores the space reachable from \p Start by the given rules.
 /// Rules are applied one position at a time (every matching position
-/// spawns a new derivation). Programs are deduplicated structurally
-/// (by their printed form). The result always contains \p Start itself
-/// as the first derivation.
+/// spawns a new derivation). Programs are deduplicated by
+/// alpha-invariant structural hash and equality (ir/StructuralHash.h);
+/// no candidate is ever printed. The result always contains \p Start
+/// itself as the first derivation.
+///
+/// Determinism contract: derivations are discovered breadth-first and
+/// appended in a fixed total order — lexicographic by (depth, discovery
+/// order of the parent derivation, index of the rule in \p Rules,
+/// occurrence position of the match, pre-order). When MaxPrograms cuts
+/// the search off, exactly the first MaxPrograms derivations of that
+/// order are returned: explore() with a smaller budget yields a prefix
+/// of explore() with a larger one, independent of the dedup set's
+/// internal iteration order (which is never observed).
 std::vector<Derivation> explore(const ir::Program &Start,
                                 const std::vector<Rule> &Rules,
                                 const ExplorationOptions &O);

@@ -130,4 +130,56 @@ TEST(Exploration, RespectsProgramBudget) {
   EXPECT_LE(explore(P, stencilExplorationRules(), O).size(), 10u);
 }
 
+TEST(Exploration, DiscoveryOrderIsDeterministic) {
+  // Candidates are deduplicated through a hash set; this regression
+  // test pins down that the *output* order never depends on that set's
+  // internal iteration order. Two runs — with different amounts of
+  // prior interning/allocation history, hence different pointer values
+  // and hash layouts — must produce the identical derivation sequence.
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  ExplorationOptions O;
+  O.MaxDepth = 2;
+  O.MaxPrograms = 64;
+
+  std::vector<Derivation> First = explore(jacobi1D(A), // fresh clones inside
+                                          stencilExplorationRules(), O);
+  // Perturb allocation/interning history between runs so accidental
+  // order-dependence on addresses or table layout would show up.
+  for (int I = 0; I != 257; ++I)
+    (void)add(sizeVar("perturb"), cst(I));
+  std::vector<Derivation> Second =
+      explore(jacobi1D(A), stencilExplorationRules(), O);
+
+  ASSERT_EQ(First.size(), Second.size());
+  for (std::size_t I = 0; I != First.size(); ++I) {
+    ASSERT_EQ(First[I].RulesApplied, Second[I].RulesApplied) << "at " << I;
+    ASSERT_EQ(toString(First[I].P), toString(Second[I].P)) << "at " << I;
+  }
+}
+
+TEST(Exploration, MaxProgramsYieldsExactPrefix) {
+  // The documented budget contract: a smaller MaxPrograms returns
+  // exactly the first k derivations of the larger run's order — a cut,
+  // not a sample.
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  ExplorationOptions Small, Large;
+  Small.MaxDepth = Large.MaxDepth = 2;
+  Small.MaxPrograms = 9;
+  Large.MaxPrograms = 64;
+
+  std::vector<Derivation> Few =
+      explore(jacobi1D(A), stencilExplorationRules(), Small);
+  std::vector<Derivation> Many =
+      explore(jacobi1D(A), stencilExplorationRules(), Large);
+
+  ASSERT_EQ(Few.size(), 9u);
+  ASSERT_GE(Many.size(), Few.size());
+  for (std::size_t I = 0; I != Few.size(); ++I) {
+    ASSERT_EQ(Few[I].RulesApplied, Many[I].RulesApplied) << "at " << I;
+    ASSERT_EQ(toString(Few[I].P), toString(Many[I].P)) << "at " << I;
+  }
+}
+
 } // namespace
