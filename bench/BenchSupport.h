@@ -17,6 +17,8 @@
 #include "stencil/Benchmarks.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace lift {
@@ -37,6 +39,19 @@ inline void printRule(int Width = 100) {
   for (int I = 0; I != Width; ++I)
     std::putchar('-');
   std::putchar('\n');
+}
+
+/// Parses `--jobs N` / `--jobs=N` from the command line. 0 (the
+/// default) means all hardware workers; 1 selects the legacy fully
+/// sequential evaluation path.
+inline unsigned parseJobs(int Argc, char **Argv, unsigned Default = 0) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      return unsigned(std::atoi(Argv[I + 1]));
+    if (std::strncmp(Argv[I], "--jobs=", 7) == 0)
+      return unsigned(std::atoi(Argv[I] + 7));
+  }
+  return Default;
 }
 
 } // namespace bench

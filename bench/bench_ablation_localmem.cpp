@@ -22,8 +22,10 @@ using namespace lift::stencil;
 using namespace lift::tuner;
 using namespace lift::bench;
 
-int main() {
-  std::printf("Ablation: local-memory staging (toLocal rule, paper 4.2)\n");
+int main(int argc, char **argv) {
+  unsigned Jobs = parseJobs(argc, argv);
+  std::printf("Ablation: local-memory staging (toLocal rule, paper 4.2) "
+              "[jobs=%u]\n", Jobs);
   std::printf("Tiled variants (tile=16 outputs/dim) with and without "
               "staging; ratio >1 means staging helps.\n");
   printRule();
@@ -44,8 +46,8 @@ int main() {
 
     std::printf("%-14s %4d", B.Name.c_str(), B.Points);
     for (const ocl::DeviceSpec &Dev : ocl::paperDevices()) {
-      Evaluated S = evaluateCandidate(P, Dev, Staged);
-      Evaluated U = evaluateCandidate(P, Dev, Unstaged);
+      Evaluated S = evaluateCandidate(P, Dev, Staged, Jobs);
+      Evaluated U = evaluateCandidate(P, Dev, Unstaged, Jobs);
       if (S.Valid && U.Valid)
         std::printf("  %13.3f %13.3f %5.2fx", S.GElemsPerSec,
                     U.GElemsPerSec, S.GElemsPerSec / U.GElemsPerSec);

@@ -21,9 +21,10 @@ using namespace lift::stencil;
 using namespace lift::tuner;
 using namespace lift::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Jobs = parseJobs(argc, argv);
   std::printf("Ablation: overlapped tiling (rule of paper 4.1), "
-              "GElements/s at the small target size\n");
+              "GElements/s at the small target size [jobs=%u]\n", Jobs);
 
   for (const char *Name : {"Jacobi2D9pt", "Gaussian", "Jacobi3D7pt"}) {
     const Benchmark &B = findBenchmark(Name);
@@ -57,7 +58,7 @@ int main() {
     for (const Candidate &C : Variants) {
       std::printf("%-22s", C.Options.describe().c_str());
       for (const ocl::DeviceSpec &Dev : ocl::paperDevices()) {
-        Evaluated E = evaluateCandidate(P, Dev, C);
+        Evaluated E = evaluateCandidate(P, Dev, C, Jobs);
         if (E.Valid)
           std::printf(" %12.3f", E.GElemsPerSec);
         else

@@ -19,9 +19,10 @@ using namespace lift::stencil;
 using namespace lift::tuner;
 using namespace lift::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Jobs = parseJobs(argc, argv);
   std::printf("Ablation: reduction unrolling (reduceSeqUnroll, paper "
-              "4.3), untiled variants, wg=128\n");
+              "4.3), untiled variants, wg=128 [jobs=%u]\n", Jobs);
   std::printf("Only reduce-style programs (Listing 2 formulation, e.g. "
               "Jacobi2D9pt) contain a\nreduction to unroll; "
               "point-extraction formulations are unaffected.\n");
@@ -40,8 +41,8 @@ int main() {
     On.Launch.WorkGroupSize = Off.Launch.WorkGroupSize = 128;
 
     for (const ocl::DeviceSpec &Dev : ocl::paperDevices()) {
-      Evaluated EOn = evaluateCandidate(P, Dev, On);
-      Evaluated EOff = evaluateCandidate(P, Dev, Off);
+      Evaluated EOn = evaluateCandidate(P, Dev, On, Jobs);
+      Evaluated EOff = evaluateCandidate(P, Dev, Off, Jobs);
       std::printf("%-14s %-12s %12.3f %12.3f %9.2fms %9.2fms %7.2fx\n",
                   B.Name.c_str(), Dev.Name.c_str(), EOn.GElemsPerSec,
                   EOff.GElemsPerSec, EOn.T.ComputeTime * 1e3,

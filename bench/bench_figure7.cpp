@@ -22,9 +22,12 @@ using namespace lift::stencil;
 using namespace lift::tuner;
 using namespace lift::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  TuneOptions Opts;
+  Opts.Jobs = parseJobs(argc, argv);
   std::printf("Figure 7: Lift (tuned) vs hand-written reference, "
-              "GElements/s\n");
+              "GElements/s  [jobs=%u%s]\n", Opts.Jobs,
+              Opts.Jobs == 0 ? " (all workers)" : "");
   printRule();
   std::printf("%-12s %-10s %12s %12s %8s  %s\n", "Device", "Benchmark",
               "Lift", "Reference", "Ratio", "Best Lift variant");
@@ -36,9 +39,9 @@ int main() {
         continue;
       TuningProblem P = makeProblem(B, /*LargeTarget=*/false);
 
-      TuneResult Lift = tuneStencil(P, Dev, liftSpace());
-      Evaluated Ref =
-          evaluateCandidate(P, Dev, baselines::referenceCandidate(B));
+      TuneResult Lift = tuneStencil(P, Dev, liftSpace(), Opts);
+      Evaluated Ref = evaluateCandidate(
+          P, Dev, baselines::referenceCandidate(B), Opts.Jobs);
       if (!Ref.Valid) {
         std::printf("%-12s %-10s reference configuration invalid\n",
                     Dev.Name.c_str(), B.Name.c_str());

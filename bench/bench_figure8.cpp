@@ -24,8 +24,12 @@ using namespace lift::stencil;
 using namespace lift::tuner;
 using namespace lift::bench;
 
-int main() {
-  std::printf("Figure 8: speedup of Lift over PPCG (both tuned)\n");
+int main(int argc, char **argv) {
+  TuneOptions Opts;
+  Opts.Jobs = parseJobs(argc, argv);
+  std::printf("Figure 8: speedup of Lift over PPCG (both tuned)  "
+              "[jobs=%u%s]\n", Opts.Jobs,
+              Opts.Jobs == 0 ? " (all workers)" : "");
   printRule(110);
   std::printf("%-12s %-13s %-6s %10s %10s %8s  %-24s %s\n", "Device",
               "Benchmark", "Size", "Lift", "PPCG", "Speedup",
@@ -44,8 +48,8 @@ int main() {
           continue; // did not fit the ARM GPU in the paper
         TuningProblem P = makeProblem(B, Large);
 
-        TuneResult Lift = tuneStencil(P, Dev, liftSpace());
-        TuneResult Ppcg = tuneStencil(P, Dev, ppcgSpace());
+        TuneResult Lift = tuneStencil(P, Dev, liftSpace(), Opts);
+        TuneResult Ppcg = tuneStencil(P, Dev, ppcgSpace(), Opts);
 
         ++Cases[DevIdx];
         if (Lift.Best.C.Options.Tile)

@@ -16,7 +16,10 @@ using namespace lift;
 using namespace lift::stencil;
 using namespace lift::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  // Accepted for harness-uniform command lines; Table 1 is derived
+  // from the benchmark definitions alone and runs no simulations.
+  (void)parseJobs(argc, argv);
   std::printf("Table 1: Benchmarks used in the evaluation "
               "(CGO'18 Lift stencil reproduction)\n");
   printRule();

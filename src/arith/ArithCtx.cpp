@@ -65,12 +65,14 @@ AExpr ArithCtx::intern(Kind K, std::int64_t CstVal, std::string VarName,
                        std::vector<AExpr> Operands) {
   NodeKey Key{K, CstVal, VarId, &Operands,
               hashFields(K, CstVal, VarId, Operands)};
-  auto It = Table.find(Key);
-  if (It != Table.end()) {
-    ++Stats.Hits;
+  Shard &S = shardFor(Key.Hash);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Table.find(Key);
+  if (It != S.Table.end()) {
+    ++S.Stats.Hits;
     return *It;
   }
-  ++Stats.Misses;
+  ++S.Stats.Misses;
   auto Node = std::shared_ptr<ArithExpr>(new ArithExpr());
   Node->K = K;
   Node->CstVal = CstVal;
@@ -79,8 +81,39 @@ AExpr ArithCtx::intern(Kind K, std::int64_t CstVal, std::string VarName,
   Node->VarRange = VarRange;
   Node->Operands = std::move(Operands);
   Node->HashVal = Key.Hash;
-  Table.insert(Node);
+  S.Table.insert(Node);
   return Node;
 }
 
-void ArithCtx::clear() { Table.clear(); }
+std::size_t ArithCtx::size() const {
+  std::size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.Table.size();
+  }
+  return N;
+}
+
+ArithCtxStats ArithCtx::stats() const {
+  ArithCtxStats Sum;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Sum.Hits += S.Stats.Hits;
+    Sum.Misses += S.Stats.Misses;
+  }
+  return Sum;
+}
+
+void ArithCtx::resetStats() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Stats = ArithCtxStats();
+  }
+}
+
+void ArithCtx::clear() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Table.clear();
+  }
+}

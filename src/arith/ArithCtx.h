@@ -28,8 +28,17 @@
 ///    guarantee only holds among nodes interned in the same arena
 ///    generation; exprEquals() stays correct across generations by
 ///    falling back to a structural walk.
-///  - The arena is not thread-safe; the compiler is single-threaded by
-///    design (one arena per process via ArithCtx::global()).
+///
+/// Thread safety: the arena is sharded by node hash into NumShards
+/// independently locked hash tables, so concurrent factory calls from
+/// the parallel tuner/simulator contend only when they intern nodes
+/// that land in the same shard. The invariant that makes this sound is
+/// that a node's shard is a pure function of its structural hash: two
+/// threads racing to intern the same structure serialize on one shard
+/// lock and the loser gets the winner's node, preserving
+/// structural-equality == pointer-equality globally. clear() and
+/// resetStats() take every shard lock and are not meant to run
+/// concurrently with interning.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +48,7 @@
 #include "arith/ArithExpr.h"
 
 #include <cstddef>
+#include <mutex>
 #include <unordered_set>
 
 namespace lift {
@@ -61,15 +71,17 @@ public:
 
   /// Returns the canonical node for the given field values, creating
   /// and caching it on first use. Operands must already be interned
-  /// (guaranteed when they come from the factory functions).
+  /// (guaranteed when they come from the factory functions). Safe to
+  /// call from multiple threads.
   AExpr intern(ArithExpr::Kind K, std::int64_t CstVal, std::string VarName,
                unsigned VarId, Range VarRange, std::vector<AExpr> Operands);
 
-  /// Number of distinct live nodes in the table.
-  std::size_t size() const { return Table.size(); }
+  /// Number of distinct live nodes across all shards.
+  std::size_t size() const;
 
-  const ArithCtxStats &stats() const { return Stats; }
-  void resetStats() { Stats = ArithCtxStats(); }
+  /// Aggregated counters across all shards (a snapshot, by value).
+  ArithCtxStats stats() const;
+  void resetStats();
 
   /// Drops all interned nodes (handles held by clients stay valid; see
   /// the lifetime rules in the file comment).
@@ -105,8 +117,22 @@ private:
     }
   };
 
-  std::unordered_set<AExpr, TableHash, TableEq> Table;
-  ArithCtxStats Stats;
+  /// One independently locked slice of the arena.
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_set<AExpr, TableHash, TableEq> Table;
+    ArithCtxStats Stats;
+  };
+
+  static constexpr std::size_t NumShards = 16;
+
+  Shard &shardFor(std::size_t Hash) {
+    // hash() already mixes well; fold the high bits in so shard choice
+    // is not correlated with the table's own bucket index.
+    return Shards[(Hash ^ (Hash >> 16)) % NumShards];
+  }
+
+  Shard Shards[NumShards];
 };
 
 } // namespace lift

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <mutex>
 
 using namespace lift;
 
@@ -139,11 +140,21 @@ static Range mulRanges(const Range &A, const Range &B) {
 }
 
 Range ArithExpr::getRange() const {
-  if (RangeCached)
+  if (RangeCached.load(std::memory_order_acquire))
     return CachedRange;
+  // Compute before taking the stripe lock: computeRange() recurses into
+  // operand getRange() calls, which may hash to the same stripe.
+  // Concurrent threads may compute the same interval redundantly; the
+  // first one to take the lock publishes it.
   Range R = computeRange();
-  CachedRange = R;
-  RangeCached = true;
+  static std::mutex RangeMemoM[16];
+  std::mutex &M =
+      RangeMemoM[(reinterpret_cast<std::uintptr_t>(this) / 64) % 16];
+  std::lock_guard<std::mutex> Lock(M);
+  if (!RangeCached.load(std::memory_order_relaxed)) {
+    CachedRange = R;
+    RangeCached.store(true, std::memory_order_release);
+  }
   return R;
 }
 

@@ -26,6 +26,7 @@
 
 #include "support/Support.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -148,9 +149,12 @@ private:
   std::vector<AExpr> Operands;
   std::size_t HashVal = 0;
 
-  // Range-analysis memo (see getRange).
+  // Range-analysis memo (see getRange). Thread-safe publication: the
+  // flag is set with release ordering after CachedRange is written
+  // under a striped mutex (see ArithExpr.cpp); readers acquire-load the
+  // flag before touching CachedRange.
   mutable Range CachedRange;
-  mutable bool RangeCached = false;
+  mutable std::atomic<bool> RangeCached{false};
 };
 
 /// Total structural order over expressions; returns <0, 0, >0.

@@ -6,6 +6,7 @@
 
 #include "codegen/Runner.h"
 
+#include "ocl/ParallelSim.h"
 #include "support/Support.h"
 
 using namespace lift;
@@ -14,23 +15,37 @@ using namespace lift::ocl;
 
 RunResult lift::codegen::runCompiled(
     const Compiled &C, const std::vector<std::vector<float>> &Inputs,
-    const SizeEnv &Sizes, const CacheConfig &Cache) {
+    const SizeEnv &Sizes, const CacheConfig &Cache, unsigned Jobs) {
   if (Inputs.size() != C.InputBufferIds.size())
     fatalError("runCompiled: input count mismatch");
-  Executor Ex(C.K, Sizes, Cache);
-  for (std::size_t I = 0, E = Inputs.size(); I != E; ++I)
-    Ex.bindInput(C.InputBufferIds[I], Inputs[I]);
-  Ex.run();
   RunResult R;
-  R.Output = Ex.bufferContents(C.OutputBufferId);
-  R.Counters = Ex.counters();
+  if (Jobs == 1) {
+    // Legacy path: the tree-walking sequential simulator.
+    Executor Ex(C.K, Sizes, Cache);
+    for (std::size_t I = 0, E = Inputs.size(); I != E; ++I)
+      Ex.bindInput(C.InputBufferIds[I], Inputs[I]);
+    Ex.run();
+    R.Output = Ex.bufferContents(C.OutputBufferId);
+    R.Counters = Ex.counters();
+  } else {
+    // Compiled engine; shards the outermost parallel loop nest over
+    // min(Jobs, pool workers) threads (Jobs == 0: all workers). The
+    // counters are bit-identical to the Executor path by construction
+    // (see ParallelSim.h).
+    ParallelExecutor Ex(C.K, Sizes, Cache, Jobs);
+    for (std::size_t I = 0, E = Inputs.size(); I != E; ++I)
+      Ex.bindInput(C.InputBufferIds[I], Inputs[I]);
+    Ex.run();
+    R.Output = Ex.bufferContents(C.OutputBufferId);
+    R.Counters = Ex.counters();
+  }
   R.NDRange = analyzeNDRange(C.K, Sizes);
   return R;
 }
 
 RunResult lift::codegen::runOnSim(
     const ir::Program &P, const std::vector<std::vector<float>> &Inputs,
-    const SizeEnv &Sizes, const CacheConfig &Cache) {
+    const SizeEnv &Sizes, const CacheConfig &Cache, unsigned Jobs) {
   Compiled C = compileProgram(P, "kernel_fn");
-  return runCompiled(C, Inputs, Sizes, Cache);
+  return runCompiled(C, Inputs, Sizes, Cache, Jobs);
 }

@@ -32,17 +32,23 @@ struct RunResult {
 /// Compiles \p P and executes it on the simulator. \p Inputs holds one
 /// flat row-major float vector per program parameter; \p Sizes binds
 /// the size variables. \p Cache configures the modeled last-level
-/// cache.
+/// cache. \p Jobs selects the execution engine: 1 (the default) is the
+/// legacy sequential Executor; any other value uses the compiled
+/// ParallelExecutor with up to that many threads (0 = all hardware
+/// workers). Counters and outputs are identical either way.
 RunResult runOnSim(const ir::Program &P,
                    const std::vector<std::vector<float>> &Inputs,
                    const ocl::SizeEnv &Sizes,
-                   const ocl::CacheConfig &Cache = ocl::CacheConfig());
+                   const ocl::CacheConfig &Cache = ocl::CacheConfig(),
+                   unsigned Jobs = 1);
 
-/// Executes an already-compiled kernel on fresh input data.
+/// Executes an already-compiled kernel on fresh input data. \p Jobs as
+/// in runOnSim.
 RunResult runCompiled(const Compiled &C,
                       const std::vector<std::vector<float>> &Inputs,
                       const ocl::SizeEnv &Sizes,
-                      const ocl::CacheConfig &Cache = ocl::CacheConfig());
+                      const ocl::CacheConfig &Cache = ocl::CacheConfig(),
+                      unsigned Jobs = 1);
 
 } // namespace codegen
 } // namespace lift

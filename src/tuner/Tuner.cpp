@@ -7,10 +7,15 @@
 #include "tuner/Tuner.h"
 
 #include "codegen/Runner.h"
+#include "ir/StructuralHash.h"
 #include "support/Support.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 
 using namespace lift;
 using namespace lift::ocl;
@@ -39,11 +44,37 @@ TuningSpace lift::tuner::ppcgSpace() {
 TuningProblem lift::tuner::makeProblem(const Benchmark &B, bool LargeTarget) {
   TuningProblem P;
   P.B = &B;
+  P.Instance = B.Build();
   P.Measure = B.MeasureExtents;
   P.Target = LargeTarget && !B.LargeExtents.empty() ? B.LargeExtents
                                                     : B.SmallExtents;
   P.Inputs = makeBenchmarkInputs(B, P.Measure);
   return P;
+}
+
+std::uint64_t PruneStats::total() const {
+  return TileStepMisaligned + TileIndivisible + TileCoarsenMisaligned +
+         LocalMemOverflow + CoarsenIndivisible + LoweringFailed;
+}
+
+std::string PruneStats::describe() const {
+  std::string S;
+  auto Add = [&S](const char *Name, std::uint64_t N) {
+    if (N == 0)
+      return;
+    if (!S.empty())
+      S += ", ";
+    S += Name;
+    S += "=";
+    S += std::to_string(N);
+  };
+  Add("tile-step-misaligned", TileStepMisaligned);
+  Add("tile-indivisible", TileIndivisible);
+  Add("tile-coarsen-misaligned", TileCoarsenMisaligned);
+  Add("local-mem-overflow", LocalMemOverflow);
+  Add("coarsen-indivisible", CoarsenIndivisible);
+  Add("lowering-failed", LoweringFailed);
+  return S.empty() ? "none" : S;
 }
 
 namespace {
@@ -90,11 +121,111 @@ bool dividesAll(std::int64_t V, const Extents &E) {
   return true;
 }
 
-} // namespace
+/// Which constraint (if any) rejected a candidate.
+enum class PruneReason {
+  None,
+  TileStepMisaligned,
+  TileIndivisible,
+  TileCoarsenMisaligned,
+  LocalMemOverflow,
+  CoarsenIndivisible,
+  LoweringFailed,
+};
 
-Evaluated lift::tuner::evaluateCandidate(const TuningProblem &P,
-                                         const DeviceSpec &Dev,
-                                         const Candidate &C) {
+/// Memoizes (counters, NDRange analysis) of one simulated execution,
+/// keyed on the *lowered* program's structural identity plus the size
+/// bindings and cache configuration that shaped the run. Candidates
+/// that differ only in knobs the lowering ignores (e.g. the launch
+/// work-group size of mapGlb kernels) collapse onto one simulation.
+///
+/// Thread-safe with in-flight deduplication: the first caller to
+/// acquire a key becomes its owner and computes; concurrent callers
+/// block on the entry until the owner publishes.
+class EvalMemo {
+public:
+  struct Entry {
+    std::mutex M;
+    std::condition_variable CV;
+    bool Ready = false;
+    ExecCounters Counters;
+    NDRangeInfo ND;
+
+    void publish(const ExecCounters &C, const NDRangeInfo &N) {
+      std::lock_guard<std::mutex> Lock(M);
+      Counters = C;
+      ND = N;
+      Ready = true;
+      CV.notify_all();
+    }
+    void wait() {
+      std::unique_lock<std::mutex> Lock(M);
+      CV.wait(Lock, [this] { return Ready; });
+    }
+  };
+
+  /// Returns the entry for the key; sets \p Owner when this caller
+  /// inserted it and must compute + publish.
+  Entry *acquire(const ir::Program &Low, const SizeEnv &MeasureEnv,
+                 const SizeEnv &TargetEnv, const CacheConfig &Cache,
+                 bool &Owner) {
+    Key K;
+    K.Prog = Low;
+    K.Hash = ir::structuralHash(Low);
+    auto AddEnv = [&K](const SizeEnv &Env) {
+      std::vector<std::pair<unsigned, std::int64_t>> V(Env.begin(), Env.end());
+      std::sort(V.begin(), V.end());
+      for (const auto &KV : V) {
+        K.Hash = hashCombine(K.Hash, KV.first);
+        K.Hash = hashCombine(K.Hash, std::size_t(KV.second));
+        K.Sizes.push_back(KV);
+      }
+    };
+    AddEnv(MeasureEnv);
+    AddEnv(TargetEnv);
+    K.Hash = hashCombine(K.Hash, std::size_t(Cache.LineBytes));
+    K.Hash = hashCombine(K.Hash, std::size_t(Cache.TotalBytes));
+    K.Hash = hashCombine(K.Hash, std::size_t(Cache.Ways));
+    K.Cache = Cache;
+
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      Owner = false;
+      return It->second.get();
+    }
+    Owner = true;
+    return Map.emplace(std::move(K), std::make_unique<Entry>())
+        .first->second.get();
+  }
+
+private:
+  struct Key {
+    std::size_t Hash = 0;
+    ir::Program Prog;
+    std::vector<std::pair<unsigned, std::int64_t>> Sizes;
+    CacheConfig Cache;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key &K) const { return K.Hash; }
+  };
+  struct KeyEq {
+    bool operator()(const Key &A, const Key &B) const {
+      return A.Hash == B.Hash && A.Sizes == B.Sizes &&
+             A.Cache.LineBytes == B.Cache.LineBytes &&
+             A.Cache.TotalBytes == B.Cache.TotalBytes &&
+             A.Cache.Ways == B.Cache.Ways &&
+             ir::structuralEquals(A.Prog, B.Prog);
+    }
+  };
+
+  std::mutex M;
+  std::unordered_map<Key, std::unique_ptr<Entry>, KeyHash, KeyEq> Map;
+};
+
+Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
+                   const Candidate &C, unsigned Jobs, EvalMemo *Memo,
+                   PruneReason &Why) {
+  Why = PruneReason::None;
   Evaluated R;
   R.C = C;
 
@@ -103,44 +234,71 @@ Evaluated lift::tuner::evaluateCandidate(const TuningProblem &P,
 
   // Structural constraints.
   if (O.Tile) {
-    if (O.TileOutputs % B.WindowStep != 0)
+    if (O.TileOutputs % B.WindowStep != 0) {
+      Why = PruneReason::TileStepMisaligned;
       return R;
+    }
     if (!dividesAll(O.TileOutputs, P.Measure) ||
-        !dividesAll(O.TileOutputs, P.Target))
+        !dividesAll(O.TileOutputs, P.Target)) {
+      Why = PruneReason::TileIndivisible;
       return R;
-    if (O.TileCoarsen > 1 && O.TileOutputs % O.TileCoarsen != 0)
+    }
+    if (O.TileCoarsen > 1 && O.TileOutputs % O.TileCoarsen != 0) {
+      Why = PruneReason::TileCoarsenMisaligned;
       return R;
+    }
     // Local tile must fit the device's local memory.
     if (O.UseLocalMem) {
       double TileExtent =
           double(O.TileOutputs + B.WindowSize - B.WindowStep);
       double Bytes = 4.0 * std::pow(TileExtent, double(B.Dims));
-      if (Bytes > double(Dev.LocalMemPerCU))
+      if (Bytes > double(Dev.LocalMemPerCU)) {
+        Why = PruneReason::LocalMemOverflow;
         return R;
+      }
     }
   } else if (O.Coarsen > 1) {
-    if (P.Measure.back() % O.Coarsen != 0 || P.Target.back() % O.Coarsen != 0)
+    if (P.Measure.back() % O.Coarsen != 0 || P.Target.back() % O.Coarsen != 0) {
+      Why = PruneReason::CoarsenIndivisible;
       return R;
+    }
   }
 
-  BenchmarkInstance I = B.Build();
+  const BenchmarkInstance &I = P.Instance;
   ir::Program Low = rewrite::lowerStencil(I.P, O);
-  if (!Low)
+  if (!Low) {
+    Why = PruneReason::LoweringFailed;
     return R;
+  }
 
-  codegen::Compiled Compiled = codegen::compileProgram(Low, B.Name);
   CacheConfig Cache = scaledCache(Dev.Cache, P.Measure, P.Target);
-
   auto MeasureEnv = makeSizeEnv(I, P.Measure);
-  codegen::RunResult Run =
-      codegen::runCompiled(Compiled, P.Inputs, MeasureEnv, Cache);
+  auto TargetEnv = makeSizeEnv(I, P.Target);
+
+  ExecCounters Counters;
+  NDRangeInfo ND;
+  EvalMemo::Entry *Ent = nullptr;
+  bool Owner = false;
+  if (Memo)
+    Ent = Memo->acquire(Low, MeasureEnv, TargetEnv, Cache, Owner);
+  if (Ent && !Owner) {
+    Ent->wait();
+    Counters = Ent->Counters;
+    ND = Ent->ND;
+    R.FromMemo = true;
+  } else {
+    codegen::Compiled Compiled = codegen::compileProgram(Low, B.Name);
+    codegen::RunResult Run =
+        codegen::runCompiled(Compiled, P.Inputs, MeasureEnv, Cache, Jobs);
+    Counters = Run.Counters;
+    ND = analyzeNDRange(Compiled.K, TargetEnv);
+    if (Ent)
+      Ent->publish(Counters, ND);
+  }
 
   double CountScale =
       double(totalElems(P.Target)) / double(totalElems(P.Measure));
-  ExecCounters Scaled = scaleCounters(Run.Counters, CountScale);
-
-  auto TargetEnv = makeSizeEnv(I, P.Target);
-  NDRangeInfo ND = analyzeNDRange(Compiled.K, TargetEnv);
+  ExecCounters Scaled = scaleCounters(Counters, CountScale);
 
   R.T = estimateTime(Dev, Scaled, ND, C.Launch);
   R.Valid = true;
@@ -148,9 +306,19 @@ Evaluated lift::tuner::evaluateCandidate(const TuningProblem &P,
   return R;
 }
 
+} // namespace
+
+Evaluated lift::tuner::evaluateCandidate(const TuningProblem &P,
+                                         const DeviceSpec &Dev,
+                                         const Candidate &C, unsigned Jobs) {
+  PruneReason Why;
+  return evalImpl(P, Dev, C, Jobs, /*Memo=*/nullptr, Why);
+}
+
 TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
                                     const DeviceSpec &Dev,
-                                    const TuningSpace &Space) {
+                                    const TuningSpace &Space,
+                                    const TuneOptions &Opts) {
   std::vector<Candidate> Candidates;
 
   std::vector<bool> Unrolls = {false};
@@ -192,12 +360,60 @@ TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
           }
   }
 
+  // Evaluate every candidate into a preallocated slot so the scan
+  // below is independent of evaluation order (and thread schedule).
+  std::vector<Evaluated> Evals(Candidates.size());
+  std::vector<PruneReason> Reasons(Candidates.size(), PruneReason::None);
+  EvalMemo Memo;
+  // Jobs == 1 is the legacy sequential tuner verbatim: tree-walking
+  // simulator, no memo, plain loop.
+  EvalMemo *MemoPtr = Opts.UseMemo && Opts.Jobs != 1 ? &Memo : nullptr;
+
+  unsigned Par =
+      Opts.Jobs == 0 ? ThreadPool::shared().workers() : Opts.Jobs;
+  auto EvalOne = [&](std::size_t I) {
+    Evals[I] = evalImpl(P, Dev, Candidates[I], Opts.Jobs, MemoPtr, Reasons[I]);
+  };
+  if (Par <= 1) {
+    for (std::size_t I = 0; I != Candidates.size(); ++I)
+      EvalOne(I);
+  } else {
+    ThreadPool::shared().parallelFor(Candidates.size(), EvalOne, Par);
+  }
+
+  // Deterministic argmin: scan in enumeration order, first strictly
+  // smaller predicted time wins — the same tie-break the sequential
+  // loop always had, for any thread count.
   TuneResult Result;
   double BestTime = 0;
-  for (const Candidate &C : Candidates) {
-    Evaluated E = evaluateCandidate(P, Dev, C);
+  for (std::size_t I = 0; I != Candidates.size(); ++I) {
+    switch (Reasons[I]) {
+    case PruneReason::None:
+      break;
+    case PruneReason::TileStepMisaligned:
+      ++Result.Prunes.TileStepMisaligned;
+      break;
+    case PruneReason::TileIndivisible:
+      ++Result.Prunes.TileIndivisible;
+      break;
+    case PruneReason::TileCoarsenMisaligned:
+      ++Result.Prunes.TileCoarsenMisaligned;
+      break;
+    case PruneReason::LocalMemOverflow:
+      ++Result.Prunes.LocalMemOverflow;
+      break;
+    case PruneReason::CoarsenIndivisible:
+      ++Result.Prunes.CoarsenIndivisible;
+      break;
+    case PruneReason::LoweringFailed:
+      ++Result.Prunes.LoweringFailed;
+      break;
+    }
+    const Evaluated &E = Evals[I];
     if (!E.Valid)
       continue;
+    if (E.FromMemo)
+      ++Result.MemoHits;
     Result.All.push_back(E);
     if (!Result.Best.Valid || E.T.Total < BestTime) {
       Result.Best = E;
@@ -205,6 +421,8 @@ TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
     }
   }
   if (!Result.Best.Valid)
-    fatalError("tuner: no valid candidate for " + P.B->Name);
+    fatalError("tuner: no valid candidate for " + P.B->Name + " (all " +
+               std::to_string(Candidates.size()) +
+               " candidates pruned: " + Result.Prunes.describe() + ")");
   return Result;
 }

@@ -32,6 +32,8 @@
 #include "rewrite/Lowering.h"
 #include "stencil/Benchmarks.h"
 
+#include <cstdint>
+
 namespace lift {
 namespace tuner {
 
@@ -71,9 +73,14 @@ TuningSpace liftSpace();
 /// alternative.
 TuningSpace ppcgSpace();
 
-/// A tuning task: one benchmark at one target size.
+/// A tuning task: one benchmark at one target size. Always construct
+/// via makeProblem: the built Instance is shared read-only by every
+/// candidate evaluation (and every tuner thread), which keeps size-
+/// variable identities consistent so structurally equal lowerings of
+/// different candidates can share one simulation.
 struct TuningProblem {
   const stencil::Benchmark *B = nullptr;
+  stencil::BenchmarkInstance Instance; ///< built once, shared read-only
   stencil::Extents Measure; ///< reduced grid executed on the simulator
   stencil::Extents Target;  ///< the paper's grid (counts scaled to it)
   std::vector<std::vector<float>> Inputs; ///< measurement inputs
@@ -87,25 +94,64 @@ struct Evaluated {
   Candidate C;
   ocl::Timing T;
   bool Valid = false;
+  /// True when the simulation was shared with an earlier structurally
+  /// identical candidate instead of being executed again.
+  bool FromMemo = false;
   /// Giga grid-point updates per second at the target size (the
   /// paper's Figure 7 metric).
   double GElemsPerSec = 0.0;
 };
 
+/// Why candidates were rejected before (or during) lowering, counted
+/// per constraint. Reported in TuneResult and in the all-candidates-
+/// invalid fatal error so a failing search explains itself.
+struct PruneStats {
+  std::uint64_t TileStepMisaligned = 0;   ///< tile % window step != 0
+  std::uint64_t TileIndivisible = 0;      ///< tile does not divide a grid
+  std::uint64_t TileCoarsenMisaligned = 0;///< tile % tile-coarsen != 0
+  std::uint64_t LocalMemOverflow = 0;     ///< staged tile exceeds local mem
+  std::uint64_t CoarsenIndivisible = 0;   ///< coarsening does not divide grid
+  std::uint64_t LoweringFailed = 0;       ///< rewrite produced no program
+  std::uint64_t total() const;
+  /// e.g. "tile-indivisible=12, local-mem-overflow=3".
+  std::string describe() const;
+};
+
+/// Knobs of the search driver itself (not of the search space).
+struct TuneOptions {
+  /// Candidate evaluations run on up to this many pool workers
+  /// (0 = all hardware workers). 1 keeps the legacy fully sequential
+  /// tree-walking simulator; any other value also switches the inner
+  /// simulation to the compiled engine. The winner is identical for
+  /// any value: results are deterministic and the argmin tie-break is
+  /// always "first candidate in enumeration order".
+  unsigned Jobs = 1;
+  /// Share one simulation between candidates whose lowered programs
+  /// are structurally equal under the same size bindings and cache
+  /// configuration (e.g. work-group-size variants of one untiled
+  /// lowering). Never changes results, only skips redundant work.
+  /// Ignored at Jobs == 1, which stays the legacy tuner verbatim.
+  bool UseMemo = true;
+};
+
 /// Result of a search.
 struct TuneResult {
   Evaluated Best;
-  std::vector<Evaluated> All; ///< every valid evaluated candidate
+  std::vector<Evaluated> All; ///< every valid candidate, enumeration order
+  PruneStats Prunes;          ///< invalid candidates, counted by reason
+  std::uint64_t MemoHits = 0; ///< evaluations served from the memo
 };
 
 /// Evaluates one candidate (used directly for the fixed, untuned
-/// hand-written reference configurations).
+/// hand-written reference configurations). \p Jobs as in TuneOptions.
 Evaluated evaluateCandidate(const TuningProblem &P,
-                            const ocl::DeviceSpec &Dev, const Candidate &C);
+                            const ocl::DeviceSpec &Dev, const Candidate &C,
+                            unsigned Jobs = 1);
 
 /// Exhaustively searches \p Space for the fastest predicted variant.
 TuneResult tuneStencil(const TuningProblem &P, const ocl::DeviceSpec &Dev,
-                       const TuningSpace &Space);
+                       const TuningSpace &Space,
+                       const TuneOptions &Opts = TuneOptions());
 
 } // namespace tuner
 } // namespace lift

@@ -1,0 +1,114 @@
+//===- ParallelSimTest.cpp - Parallel-vs-sequential simulator equivalence -===//
+//
+// Part of the liftcpp project.
+//
+// The compiled, sharded ParallelExecutor promises *bit-identical*
+// counters and outputs to the sequential tree-walking Executor for any
+// thread count (see ParallelSim.h for the merge contract). These tests
+// hold it to that promise field-for-field on a 2D and a 3D stencil,
+// untiled and tiled+staged, at jobs 1, 2 and 8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGen.h"
+#include "ocl/ParallelSim.h"
+#include "rewrite/Lowering.h"
+#include "stencil/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ocl;
+using namespace lift::stencil;
+
+namespace {
+
+void expectCountersEqual(const ExecCounters &A, const ExecCounters &B,
+                         const std::string &What) {
+  EXPECT_EQ(A.GlobalLoads, B.GlobalLoads) << What;
+  EXPECT_EQ(A.GlobalStores, B.GlobalStores) << What;
+  EXPECT_EQ(A.GlobalLoadLineMisses, B.GlobalLoadLineMisses) << What;
+  EXPECT_EQ(A.LocalLoads, B.LocalLoads) << What;
+  EXPECT_EQ(A.LocalStores, B.LocalStores) << What;
+  EXPECT_EQ(A.PrivateAccesses, B.PrivateAccesses) << What;
+  EXPECT_EQ(A.Flops, B.Flops) << What;
+  EXPECT_EQ(A.UserFunCalls, B.UserFunCalls) << What;
+  EXPECT_EQ(A.LoopIterations, B.LoopIterations) << What;
+  EXPECT_EQ(A.Barriers, B.Barriers) << What;
+  EXPECT_EQ(A.SelectEvals, B.SelectEvals) << What;
+}
+
+/// Lowers one benchmark configuration, runs the sequential Executor and
+/// the ParallelExecutor at jobs 1/2/8, and asserts exact equivalence of
+/// every counter field and every output element.
+void checkEquivalence(const char *BenchName,
+                      const rewrite::LoweringOptions &O) {
+  const Benchmark &B = findBenchmark(BenchName);
+  BenchmarkInstance I = B.Build();
+  ir::Program Low = rewrite::lowerStencil(I.P, O);
+  ASSERT_TRUE(Low) << BenchName << ": lowering failed";
+
+  codegen::Compiled C = codegen::compileProgram(Low, B.Name);
+  auto Sizes = makeSizeEnv(I, B.MeasureExtents);
+  auto Inputs = makeBenchmarkInputs(B, B.MeasureExtents);
+  CacheConfig Cache; // default geometry, same for both engines
+
+  Executor Seq(C.K, Sizes, Cache);
+  for (std::size_t X = 0; X != Inputs.size(); ++X)
+    Seq.bindInput(C.InputBufferIds[X], Inputs[X]);
+  Seq.run();
+  std::vector<float> SeqOut = Seq.bufferContents(C.OutputBufferId);
+
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    ParallelExecutor Par(C.K, Sizes, Cache, Jobs);
+    for (std::size_t X = 0; X != Inputs.size(); ++X)
+      Par.bindInput(C.InputBufferIds[X], Inputs[X]);
+    Par.run();
+
+    std::string What =
+        std::string(BenchName) + "/" + O.describe() + " jobs=" +
+        std::to_string(Jobs);
+    expectCountersEqual(Seq.counters(), Par.counters(), What);
+
+    std::vector<float> ParOut = Par.bufferContents(C.OutputBufferId);
+    ASSERT_EQ(SeqOut.size(), ParOut.size()) << What;
+    for (std::size_t X = 0; X != SeqOut.size(); ++X)
+      ASSERT_EQ(SeqOut[X], ParOut[X]) << What << ", element " << X;
+  }
+}
+
+TEST(ParallelSim, Jacobi2DUntiledMatchesSequential) {
+  rewrite::LoweringOptions O;
+  checkEquivalence("Jacobi2D5pt", O);
+}
+
+TEST(ParallelSim, Jacobi2DTiledLocalUnrollMatchesSequential) {
+  rewrite::LoweringOptions O;
+  O.Tile = true;
+  O.TileOutputs = 16;
+  O.UseLocalMem = true;
+  O.UnrollReduce = true;
+  checkEquivalence("Jacobi2D5pt", O);
+}
+
+TEST(ParallelSim, Jacobi3DUntiledMatchesSequential) {
+  rewrite::LoweringOptions O;
+  checkEquivalence("Jacobi3D7pt", O);
+}
+
+TEST(ParallelSim, Jacobi3DTiledLocalMatchesSequential) {
+  rewrite::LoweringOptions O;
+  O.Tile = true;
+  O.TileOutputs = 8;
+  O.UseLocalMem = true;
+  checkEquivalence("Jacobi3D13pt", O);
+}
+
+TEST(ParallelSim, ZipInputStencilMatchesSequential) {
+  rewrite::LoweringOptions O;
+  O.Tile = true;
+  O.TileOutputs = 16;
+  checkEquivalence("Hotspot2D", O);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===- ParallelTunerTest.cpp - Concurrent tuning determinism --------------===//
+//
+// Part of the liftcpp project.
+//
+// The parallel tuner must be a pure performance feature: the winning
+// candidate, its predicted time, and the set of valid candidates are
+// identical for any job count, the evaluation memo never changes
+// results, and a search in which every candidate is pruned reports the
+// per-constraint counts instead of failing opaquely.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/Tuner.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ocl;
+using namespace lift::tuner;
+using namespace lift::stencil;
+
+namespace {
+
+TuningSpace trimmedSpace() {
+  TuningSpace S = liftSpace();
+  S.TileOutputs = {8, 16};
+  S.CoarsenFactors = {1, 2};
+  S.TileCoarsenFactors = {1, 4};
+  S.WorkGroupSizes = {64, 128};
+  return S;
+}
+
+TEST(ParallelTuner, SameWinnerAtJobs128) {
+  const Benchmark &B = findBenchmark("Jacobi2D5pt");
+  TuningProblem P = makeProblem(B, /*LargeTarget=*/false);
+  TuningSpace S = trimmedSpace();
+  DeviceSpec Dev = deviceNvidiaK20c();
+
+  TuneOptions O1; // Jobs = 1: legacy sequential path
+  TuneResult R1 = tuneStencil(P, Dev, S, O1);
+
+  for (unsigned Jobs : {2u, 8u}) {
+    TuneOptions ON;
+    ON.Jobs = Jobs;
+    TuneResult RN = tuneStencil(P, Dev, S, ON);
+    EXPECT_EQ(R1.Best.C.describe(), RN.Best.C.describe()) << "jobs=" << Jobs;
+    EXPECT_EQ(R1.Best.T.Total, RN.Best.T.Total) << "jobs=" << Jobs;
+    EXPECT_EQ(R1.All.size(), RN.All.size()) << "jobs=" << Jobs;
+    // Valid candidates come back in enumeration order with identical
+    // predicted times regardless of the thread schedule.
+    for (std::size_t I = 0; I != R1.All.size(); ++I) {
+      EXPECT_EQ(R1.All[I].C.describe(), RN.All[I].C.describe());
+      EXPECT_EQ(R1.All[I].T.Total, RN.All[I].T.Total);
+    }
+  }
+}
+
+TEST(ParallelTuner, MemoDeduplicatesEquivalentLowerings) {
+  // Untiled candidates that differ only in work-group size lower to
+  // structurally identical programs; the memo must collapse them onto
+  // one simulation without changing any result.
+  const Benchmark &B = findBenchmark("Jacobi2D5pt");
+  TuningProblem P = makeProblem(B, false);
+  TuningSpace S = trimmedSpace();
+  DeviceSpec Dev = deviceNvidiaK20c();
+
+  TuneOptions WithMemo;
+  WithMemo.Jobs = 2;
+  TuneOptions NoMemo = WithMemo;
+  NoMemo.UseMemo = false;
+
+  TuneResult RM = tuneStencil(P, Dev, S, WithMemo);
+  TuneResult RN = tuneStencil(P, Dev, S, NoMemo);
+
+  EXPECT_GT(RM.MemoHits, 0u);
+  EXPECT_EQ(RN.MemoHits, 0u);
+  ASSERT_EQ(RM.All.size(), RN.All.size());
+  for (std::size_t I = 0; I != RM.All.size(); ++I)
+    EXPECT_EQ(RM.All[I].T.Total, RN.All[I].T.Total)
+        << RM.All[I].C.describe();
+  EXPECT_EQ(RM.Best.C.describe(), RN.Best.C.describe());
+}
+
+TEST(ParallelTuner, ReportsPruneStatsPerConstraint) {
+  // SRAD1's 504x458 grid is indivisible by 16/32/64 tiles, so the
+  // trimmed space prunes deterministically countable candidates.
+  const Benchmark &B = findBenchmark("SRAD1");
+  TuningProblem P = makeProblem(B, false);
+  TuningSpace S = liftSpace();
+  DeviceSpec Dev = deviceNvidiaK20c();
+
+  TuneResult R = tuneStencil(P, Dev, S);
+  EXPECT_GT(R.Prunes.TileIndivisible, 0u);
+  EXPECT_GT(R.Prunes.total(), 0u);
+  EXPECT_NE(R.Prunes.describe(), "none");
+  // Candidate bookkeeping is consistent: every enumerated candidate is
+  // either valid or accounted for by a prune reason.
+  EXPECT_EQ(R.Prunes.describe().find("tile-indivisible") == std::string::npos,
+            false);
+}
+
+TEST(ParallelTunerDeathTest, AllCandidatesPrunedExplainsWhy) {
+  // A space whose only tile size divides nothing: every candidate is
+  // rejected and the error must carry the per-constraint breakdown.
+  const Benchmark &B = findBenchmark("SRAD1"); // 504 x 458
+  TuningProblem P = makeProblem(B, false);
+  TuningSpace S;
+  S.AllowUntiled = false;
+  S.AllowTiling = true;
+  S.TileOutputs = {64}; // 458 % 64 != 0 -> tile-indivisible, always
+  S.TileCoarsenFactors = {1};
+  DeviceSpec Dev = deviceNvidiaK20c();
+  EXPECT_DEATH(tuneStencil(P, Dev, S), "candidates pruned.*tile-indivisible");
+}
+
+} // namespace
