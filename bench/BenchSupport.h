@@ -14,6 +14,7 @@
 #ifndef LIFT_BENCH_BENCHSUPPORT_H
 #define LIFT_BENCH_BENCHSUPPORT_H
 
+#include "obs/Obs.h"
 #include "stencil/Benchmarks.h"
 
 #include <cstdio>
@@ -52,6 +53,13 @@ inline unsigned parseJobs(int Argc, char **Argv, unsigned Default = 0) {
       return unsigned(std::atoi(Argv[I] + 7));
   }
   return Default;
+}
+
+/// Arms the observability session from the shared --trace/--metrics/
+/// --obs-report flags (obs/Obs.h). Declare at the top of a harness
+/// main; finish() at the end (or the destructor) writes the files.
+inline obs::ObsSession obsSessionFromArgs(int Argc, char **Argv) {
+  return obs::ObsSession(obs::parseObsOptions(Argc, Argv));
 }
 
 } // namespace bench

@@ -23,6 +23,7 @@ using namespace lift::tuner;
 using namespace lift::bench;
 
 int main(int argc, char **argv) {
+  obs::ObsSession Obs = obsSessionFromArgs(argc, argv);
   unsigned Jobs = parseJobs(argc, argv);
   std::printf("Ablation: local-memory staging (toLocal rule, paper 4.2) "
               "[jobs=%u]\n", Jobs);
@@ -57,5 +58,5 @@ int main(int argc, char **argv) {
     std::printf("\n");
   }
   printRule();
-  return 0;
+  return Obs.finish();
 }

@@ -22,6 +22,7 @@ using namespace lift::tuner;
 using namespace lift::bench;
 
 int main(int argc, char **argv) {
+  obs::ObsSession Obs = obsSessionFromArgs(argc, argv);
   unsigned Jobs = parseJobs(argc, argv);
   std::printf("Ablation: overlapped tiling (rule of paper 4.1), "
               "GElements/s at the small target size [jobs=%u]\n", Jobs);
@@ -67,5 +68,5 @@ int main(int argc, char **argv) {
       std::printf("\n");
     }
   }
-  return 0;
+  return Obs.finish();
 }

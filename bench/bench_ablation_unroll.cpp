@@ -20,6 +20,7 @@ using namespace lift::tuner;
 using namespace lift::bench;
 
 int main(int argc, char **argv) {
+  obs::ObsSession Obs = obsSessionFromArgs(argc, argv);
   unsigned Jobs = parseJobs(argc, argv);
   std::printf("Ablation: reduction unrolling (reduceSeqUnroll, paper "
               "4.3), untiled variants, wg=128 [jobs=%u]\n", Jobs);
@@ -56,5 +57,5 @@ int main(int argc, char **argv) {
               "(compGain) rarely moves end-to-end throughput -- one "
               "reason the paper\ntreats unrolling as a searchable "
               "choice rather than a default.\n");
-  return 0;
+  return Obs.finish();
 }

@@ -23,6 +23,7 @@ using namespace lift::tuner;
 using namespace lift::bench;
 
 int main(int argc, char **argv) {
+  obs::ObsSession Obs = obsSessionFromArgs(argc, argv);
   TuneOptions Opts;
   Opts.Jobs = parseJobs(argc, argv);
   std::printf("Figure 7: Lift (tuned) vs hand-written reference, "
@@ -58,5 +59,5 @@ int main(int argc, char **argv) {
   std::printf("Paper shape: Lift comparable to references in most cases;\n"
               "SRAD1/2 low absolute throughput on the big GPUs (input too\n"
               "small to saturate them); references never beat tuned Lift.\n");
-  return 0;
+  return Obs.finish();
 }

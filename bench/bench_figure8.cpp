@@ -25,6 +25,7 @@ using namespace lift::tuner;
 using namespace lift::bench;
 
 int main(int argc, char **argv) {
+  obs::ObsSession Obs = obsSessionFromArgs(argc, argv);
   TuneOptions Opts;
   Opts.Jobs = parseJobs(argc, argv);
   std::printf("Figure 8: speedup of Lift over PPCG (both tuned)  "
@@ -76,5 +77,5 @@ int main(int argc, char **argv) {
               "NVIDIA, one larger outlier);\nresults tighter on ARM; "
               "tiling only ever wins on NVIDIA (paper: 33%% there, none "
               "on AMD/ARM).\n");
-  return 0;
+  return Obs.finish();
 }

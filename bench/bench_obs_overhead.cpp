@@ -1,0 +1,176 @@
+//===- bench_obs_overhead.cpp - Observability overhead microbenchmarks -----===//
+//
+// Part of the liftcpp project.
+//
+// Measures the cost the observability subsystem adds to instrumented
+// pipeline code. The design promise is that disabled instrumentation
+// is free enough to leave in every hot path permanently:
+//
+//  * BM_Baseline            — the empty loop the others are judged
+//                             against.
+//  * BM_SpanDisabled        — constructing/destroying a Span while
+//                             tracing is off (one relaxed atomic load
+//                             and a branch; must be within noise of
+//                             the baseline).
+//  * BM_SpanArgsDisabled    — a Span plus two arg() calls, still off
+//                             (args must also no-op).
+//  * BM_SpanEnabled         — the real recording cost when tracing is
+//                             on (timestamps + a per-thread buffer
+//                             push), for scale.
+//  * BM_CounterInc          — a registry counter increment, the cost
+//                             of always-on metrics (a relaxed
+//                             fetch_add on a cached reference).
+//
+// Passing --json [path] emits the compact JSON summary used for the
+// checked-in BENCH_obs_overhead.json snapshot at the repo root.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
+#include "obs/Trace.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace lift;
+
+namespace {
+
+void BM_Baseline(benchmark::State &State) {
+  std::int64_t X = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(++X);
+  }
+}
+BENCHMARK(BM_Baseline);
+
+void BM_SpanDisabled(benchmark::State &State) {
+  obs::Tracer::global().clear(); // also disables
+  std::int64_t X = 0;
+  for (auto _ : State) {
+    obs::Span S("bench.disabled", "bench");
+    benchmark::DoNotOptimize(++X);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanArgsDisabled(benchmark::State &State) {
+  obs::Tracer::global().clear();
+  std::int64_t X = 0;
+  for (auto _ : State) {
+    obs::Span S("bench.disabled-args", "bench");
+    S.arg("n", X);
+    S.arg("s", "value");
+    benchmark::DoNotOptimize(++X);
+  }
+}
+BENCHMARK(BM_SpanArgsDisabled);
+
+void BM_SpanEnabled(benchmark::State &State) {
+  obs::Tracer &T = obs::Tracer::global();
+  T.enable();
+  std::int64_t N = 0;
+  for (auto _ : State) {
+    {
+      obs::Span S("bench.enabled", "bench");
+      benchmark::DoNotOptimize(S);
+    }
+    // Cap buffered events so a long run cannot grow without bound;
+    // re-enabling drops the buffer and is amortized to nothing.
+    if (++N % (1 << 16) == 0)
+      T.enable();
+  }
+  T.clear();
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_CounterInc(benchmark::State &State) {
+  // Hot paths cache the reference, so the lookup is outside the loop.
+  obs::Counter &C = obs::Registry::global().counter("bench.counter");
+  for (auto _ : State) {
+    C.inc();
+  }
+  C.reset();
+}
+BENCHMARK(BM_CounterInc);
+
+/// Same compact JSON summary as the other microbench harnesses.
+class CompactJsonReporter : public benchmark::BenchmarkReporter {
+public:
+  explicit CompactJsonReporter(std::ostream &OS) : OS(OS) {}
+
+  bool ReportContext(const Context &) override { return true; }
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.error_occurred)
+        continue;
+      Lines.push_back("  {\"name\": \"" + R.benchmark_name() +
+                      "\", \"ns_per_iter\": " +
+                      std::to_string(R.GetAdjustedRealTime()) +
+                      ", \"iterations\": " + std::to_string(R.iterations) +
+                      "}");
+    }
+  }
+
+  void Finalize() override {
+    OS << "{\n\"benchmarks\": [\n";
+    for (std::size_t I = 0; I != Lines.size(); ++I)
+      OS << Lines[I] << (I + 1 == Lines.size() ? "\n" : ",\n");
+    OS << "]\n}\n";
+  }
+
+private:
+  std::ostream &OS;
+  std::vector<std::string> Lines;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // The obs flags work here too (e.g. --metrics to dump the counter
+  // this bench bumps), and must be stripped before google-benchmark
+  // rejects them as unrecognized.
+  lift::obs::ObsSession Obs(lift::obs::parseObsOptions(argc, argv));
+  bool Json = false;
+  std::string JsonPath;
+  std::vector<char *> Args;
+  for (int I = 0; I != argc; ++I) {
+    lift::obs::ObsOptions Sink;
+    if (lift::obs::parseObsFlag(argv[I], Sink))
+      continue;
+    if (std::strcmp(argv[I], "--json") == 0) {
+      Json = true;
+      if (I + 1 < argc && argv[I + 1][0] != '-')
+        JsonPath = argv[++I];
+      continue;
+    }
+    Args.push_back(argv[I]);
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  if (!Json) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else if (JsonPath.empty()) {
+    CompactJsonReporter R(std::cout);
+    benchmark::RunSpecifiedBenchmarks(&R);
+  } else {
+    std::ofstream OS(JsonPath);
+    if (!OS) {
+      std::cerr << "cannot open " << JsonPath << " for writing\n";
+      return 1;
+    }
+    CompactJsonReporter R(OS);
+    benchmark::RunSpecifiedBenchmarks(&R);
+  }
+  benchmark::Shutdown();
+  return Obs.finish();
+}

@@ -15,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Obs.h"
 #include "rewrite/Exploration.h"
 #include "rewrite/Lowering.h"
 #include "stencil/Benchmarks.h"
@@ -175,12 +176,17 @@ private:
 } // namespace
 
 int main(int argc, char **argv) {
-  // Extract our own --json [path] flag before google-benchmark sees the
-  // command line; everything else passes through unchanged.
+  lift::obs::ObsSession Obs(lift::obs::parseObsOptions(argc, argv));
+  // Extract our own --json [path] and observability flags before
+  // google-benchmark sees the command line; everything else passes
+  // through unchanged.
   bool Json = false;
   std::string JsonPath;
   std::vector<char *> Args;
   for (int I = 0; I != argc; ++I) {
+    lift::obs::ObsOptions Sink;
+    if (lift::obs::parseObsFlag(argv[I], Sink))
+      continue;
     if (std::strcmp(argv[I], "--json") == 0) {
       Json = true;
       if (I + 1 < argc && argv[I + 1][0] != '-')
@@ -208,5 +214,5 @@ int main(int argc, char **argv) {
     benchmark::RunSpecifiedBenchmarks(&R);
   }
   benchmark::Shutdown();
-  return 0;
+  return Obs.finish();
 }

@@ -55,6 +55,7 @@ struct Row {
 } // namespace
 
 int main(int argc, char **argv) {
+  obs::ObsSession Obs = obsSessionFromArgs(argc, argv);
   unsigned Jobs = parseJobs(argc, argv, /*Default=*/4);
   if (Jobs == 1)
     Jobs = 4; // the point of this harness is a jobs=1 vs jobs=N contrast
@@ -140,5 +141,6 @@ int main(int argc, char **argv) {
     printRule(90);
   }
 
-  return AllSame ? 0 : 1;
+  int ObsRC = Obs.finish();
+  return AllSame ? ObsRC : 1;
 }

@@ -6,6 +6,7 @@
 
 #include "arith/ArithCtx.h"
 
+#include "obs/Metrics.h"
 #include "support/Support.h"
 
 #include <cassert>
@@ -56,7 +57,22 @@ bool ArithCtx::TableEq::operator()(const NodeKey &K, const AExpr &N) const {
 ArithCtx &ArithCtx::global() {
   // Leaked intentionally: interned nodes may be referenced from other
   // function-local statics whose destruction order is unspecified.
-  static ArithCtx *Ctx = new ArithCtx();
+  static ArithCtx *Ctx = []() {
+    auto *C = new ArithCtx();
+    // Surface the arena's internal hit/miss tally as first-class
+    // metrics, refreshed whenever the registry is dumped.
+    obs::Registry::global().addProvider([](obs::Registry &R) {
+      ArithCtxStats S = ArithCtx::global().stats();
+      double Total = double(S.Hits + S.Misses);
+      R.gauge("arith.intern.hits").set(double(S.Hits));
+      R.gauge("arith.intern.misses").set(double(S.Misses));
+      R.gauge("arith.intern.hit_rate")
+          .set(Total == 0 ? 0.0 : double(S.Hits) / Total);
+      R.gauge("arith.intern.live_nodes")
+          .set(double(ArithCtx::global().size()));
+    });
+    return C;
+  }();
   return *Ctx;
 }
 

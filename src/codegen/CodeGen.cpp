@@ -8,6 +8,8 @@
 
 #include "codegen/View.h"
 #include "ir/TypeInference.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Support.h"
 
 #include <cassert>
@@ -621,6 +623,11 @@ private:
 
 Compiled lift::codegen::compileProgram(const Program &P,
                                        const std::string &Name) {
+  obs::Span CodegenSpan("codegen", "codegen");
+  CodegenSpan.arg("kernel", Name);
   Generator G;
-  return G.run(P, Name);
+  Compiled C = G.run(P, Name);
+  obs::Registry::global().counter("codegen.kernels").inc();
+  CodegenSpan.arg("buffers", std::int64_t(C.K.Buffers.size()));
+  return C;
 }

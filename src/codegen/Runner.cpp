@@ -6,6 +6,7 @@
 
 #include "codegen/Runner.h"
 
+#include "obs/Trace.h"
 #include "ocl/ParallelSim.h"
 #include "support/Support.h"
 
@@ -18,6 +19,9 @@ RunResult lift::codegen::runCompiled(
     const SizeEnv &Sizes, const CacheConfig &Cache, unsigned Jobs) {
   if (Inputs.size() != C.InputBufferIds.size())
     fatalError("runCompiled: input count mismatch");
+  obs::Span SimSpan("simulate", "sim");
+  SimSpan.arg("kernel", C.K.Name);
+  SimSpan.arg("jobs", std::int64_t(Jobs));
   RunResult R;
   if (Jobs == 1) {
     // Legacy path: the tree-walking sequential simulator.
@@ -40,6 +44,11 @@ RunResult lift::codegen::runCompiled(
     R.Counters = Ex.counters();
   }
   R.NDRange = analyzeNDRange(C.K, Sizes);
+  // Whole-process roll-up. Not part of the jobs-invariant metric set:
+  // tuner-level memoization can skip entire executions, so these totals
+  // legitimately depend on the memo hit pattern (the per-candidate
+  // roll-ups under "tuner.sim." are the deterministic ones).
+  exportCountersToMetrics(R.Counters, "sim.");
   return R;
 }
 

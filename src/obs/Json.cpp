@@ -1,0 +1,420 @@
+//===- Json.cpp - Minimal JSON value, parser and writer --------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lift::obs::json;
+
+std::string lift::obs::json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+const Value *Value::find(const std::string &Key) const {
+  for (const auto &KV : Obj)
+    if (KV.first == Key)
+      return &KV.second;
+  return nullptr;
+}
+
+Value Value::null() { return Value(); }
+
+Value Value::boolean(bool V) {
+  Value R;
+  R.K = Kind::Bool;
+  R.B = V;
+  return R;
+}
+
+Value Value::number(double V) {
+  Value R;
+  R.K = Kind::Number;
+  R.Num = V;
+  return R;
+}
+
+Value Value::string(std::string V) {
+  Value R;
+  R.K = Kind::String;
+  R.Str = std::move(V);
+  return R;
+}
+
+Value Value::makeArray(std::vector<Value> Elems) {
+  Value R;
+  R.K = Kind::Array;
+  R.Arr = std::move(Elems);
+  return R;
+}
+
+Value Value::makeObject() {
+  Value R;
+  R.K = Kind::Object;
+  return R;
+}
+
+static void serializeNumber(double V, std::string &Out) {
+  // Integers (the common case: counters, ids) print without a decimal
+  // point so the output is stable and diff-friendly.
+  if (std::isfinite(V) && V == std::floor(V) && std::abs(V) < 9.0e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", (long long)V);
+    Out += Buf;
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+static void serializeRec(const Value &V, std::string &Out) {
+  switch (V.kind()) {
+  case Value::Kind::Null:
+    Out += "null";
+    return;
+  case Value::Kind::Bool:
+    Out += V.asBool() ? "true" : "false";
+    return;
+  case Value::Kind::Number:
+    serializeNumber(V.asNumber(), Out);
+    return;
+  case Value::Kind::String:
+    Out += '"';
+    Out += escape(V.asString());
+    Out += '"';
+    return;
+  case Value::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const Value &E : V.array()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      serializeRec(E, Out);
+    }
+    Out += ']';
+    return;
+  }
+  case Value::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &KV : V.object()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += escape(KV.first);
+      Out += "\":";
+      serializeRec(KV.second, Out);
+    }
+    Out += '}';
+    return;
+  }
+  }
+}
+
+std::string Value::serialize() const {
+  std::string Out;
+  serializeRec(*this, Out);
+  return Out;
+}
+
+namespace lift {
+namespace obs {
+namespace json {
+
+/// Recursive-descent parser over the whole input string.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Error)
+      : S(Text), Err(Error) {}
+
+  bool run(Value &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != S.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  const std::string &S;
+  std::string *Err;
+  std::size_t Pos = 0;
+  int Depth = 0;
+
+  bool fail(const std::string &What) {
+    if (Err)
+      *Err = What + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < S.size() &&
+           (S[Pos] == ' ' || S[Pos] == '\t' || S[Pos] == '\n' ||
+            S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    std::size_t N = std::char_traits<char>::length(Lit);
+    if (S.compare(Pos, N, Lit) != 0)
+      return fail(std::string("expected '") + Lit + "'");
+    Pos += N;
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    if (++Depth > 128)
+      return fail("nesting too deep");
+    bool Ok = parseValueInner(Out);
+    --Depth;
+    return Ok;
+  }
+
+  bool parseValueInner(Value &Out) {
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    switch (S[Pos]) {
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = Value::null();
+      return true;
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = Value::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = Value::boolean(false);
+      return true;
+    case '"': {
+      std::string Str;
+      if (!parseString(Str))
+        return false;
+      Out = Value::string(std::move(Str));
+      return true;
+    }
+    case '[':
+      return parseArray(Out);
+    case '{':
+      return parseObject(Out);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (true) {
+      if (Pos >= S.size())
+        return fail("unterminated string");
+      char C = S[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        return fail("unterminated escape");
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = S[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= unsigned(H - 'A' + 10);
+          else
+            return fail("bad \\u escape digit");
+        }
+        // Encode as UTF-8 (surrogate pairs are not recombined; the
+        // exporters never emit them).
+        if (Code < 0x80) {
+          Out += char(Code);
+        } else if (Code < 0x800) {
+          Out += char(0xC0 | (Code >> 6));
+          Out += char(0x80 | (Code & 0x3F));
+        } else {
+          Out += char(0xE0 | (Code >> 12));
+          Out += char(0x80 | ((Code >> 6) & 0x3F));
+          Out += char(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parseNumber(Value &Out) {
+    std::size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a value");
+    std::string Tok = S.substr(Start, Pos - Start);
+    char *End = nullptr;
+    double V = std::strtod(Tok.c_str(), &End);
+    if (End != Tok.c_str() + Tok.size())
+      return fail("malformed number '" + Tok + "'");
+    Out = Value::number(V);
+    return true;
+  }
+
+  bool parseArray(Value &Out) {
+    ++Pos; // '['
+    Out = Value::makeArray();
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      Value Elem;
+      skipWs();
+      if (!parseValue(Elem))
+        return false;
+      Out.push(std::move(Elem));
+      skipWs();
+      if (Pos >= S.size())
+        return fail("unterminated array");
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    ++Pos; // '{'
+    Out = Value::makeObject();
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return fail("expected ':'");
+      ++Pos;
+      skipWs();
+      Value Elem;
+      if (!parseValue(Elem))
+        return false;
+      Out.set(std::move(Key), std::move(Elem));
+      skipWs();
+      if (Pos >= S.size())
+        return fail("unterminated object");
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+bool parse(const std::string &Text, Value &Out, std::string *Error) {
+  return Parser(Text, Error).run(Out);
+}
+
+} // namespace json
+} // namespace obs
+} // namespace lift

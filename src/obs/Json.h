@@ -1,0 +1,98 @@
+//===- Json.h - Minimal JSON value, parser and writer ----------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small JSON layer for the observability subsystem:
+/// the trace/metrics exporters need escaping and well-formed output,
+/// and the tests and the trace_check tool need to parse that output
+/// back to validate it. No external dependency, no streaming, no
+/// clever allocation strategy — observability files are megabytes at
+/// most and parsed once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_OBS_JSON_H
+#define LIFT_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lift {
+namespace obs {
+namespace json {
+
+/// Escapes a string for inclusion inside JSON double quotes (quotes,
+/// backslashes, control characters).
+std::string escape(const std::string &S);
+
+/// A parsed JSON document node. Objects keep their keys in file order
+/// (duplicate keys are kept; find() returns the first).
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Str; }
+  const std::vector<Value> &array() const { return Arr; }
+  const std::vector<std::pair<std::string, Value>> &object() const {
+    return Obj;
+  }
+
+  /// First member with the given key, or nullptr (also when this is
+  /// not an object).
+  const Value *find(const std::string &Key) const;
+
+  /// Serializes back to compact JSON text.
+  std::string serialize() const;
+
+  // Builders (used by tests to construct expected documents).
+  static Value null();
+  static Value boolean(bool V);
+  static Value number(double V);
+  static Value string(std::string V);
+  static Value makeArray(std::vector<Value> Elems = {});
+  static Value makeObject();
+
+  void push(Value V) { Arr.push_back(std::move(V)); }
+  void set(std::string Key, Value V) {
+    Obj.emplace_back(std::move(Key), std::move(V));
+  }
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+
+  friend class Parser;
+};
+
+/// Parses \p Text into \p Out. Returns false on malformed input and,
+/// when \p Error is non-null, stores a one-line description with the
+/// byte offset of the failure.
+bool parse(const std::string &Text, Value &Out, std::string *Error = nullptr);
+
+} // namespace json
+} // namespace obs
+} // namespace lift
+
+#endif // LIFT_OBS_JSON_H

@@ -1,0 +1,221 @@
+//===- Metrics.cpp - Named counters, gauges and histograms -----------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace lift;
+using namespace lift::obs;
+
+void Histogram::observe(double X) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Count == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++Count;
+  Sum += X;
+  int B = 0;
+  if (X >= 1.0) {
+    B = 1 + int(std::floor(std::log2(X)));
+    if (B > 63)
+      B = 63;
+  }
+  ++Buckets[B];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Snapshot S;
+  S.Count = Count;
+  S.Sum = Sum;
+  S.Min = Min;
+  S.Max = Max;
+  return S;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  Count = 0;
+  Sum = Min = Max = 0;
+  for (std::uint64_t &B : Buckets)
+    B = 0;
+}
+
+Registry &Registry::global() {
+  // Leaked intentionally: metrics may be bumped from static teardown.
+  static Registry *R = new Registry();
+  return *R;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+void Registry::addProvider(std::function<void(Registry &)> Fn) {
+  std::lock_guard<std::mutex> Lock(M);
+  Providers.push_back(std::move(Fn));
+}
+
+void Registry::runProviders() {
+  // Copy under the lock, run outside it: providers call back into
+  // gauge()/counter().
+  std::vector<std::function<void(Registry &)>> Fns;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Fns = Providers;
+  }
+  for (const auto &Fn : Fns)
+    Fn(*this);
+}
+
+std::map<std::string, std::uint64_t>
+Registry::counterValues(const std::string &Prefix) {
+  runProviders();
+  std::lock_guard<std::mutex> Lock(M);
+  std::map<std::string, std::uint64_t> Out;
+  for (const auto &KV : Counters)
+    if (KV.first.compare(0, Prefix.size(), Prefix) == 0)
+      Out.emplace(KV.first, KV.second->value());
+  return Out;
+}
+
+namespace {
+
+std::string formatDouble(double V) {
+  char Buf[40];
+  if (std::isfinite(V) && V == std::floor(V) && std::abs(V) < 9.0e15)
+    std::snprintf(Buf, sizeof(Buf), "%lld", (long long)V);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string Registry::dumpText(const std::string &Prefix) {
+  runProviders();
+  std::lock_guard<std::mutex> Lock(M);
+  auto Match = [&Prefix](const std::string &Name) {
+    return Name.compare(0, Prefix.size(), Prefix) == 0;
+  };
+  std::string Out;
+  char Line[256];
+  for (const auto &KV : Counters) {
+    if (!Match(KV.first))
+      continue;
+    std::snprintf(Line, sizeof(Line), "%-44s %llu\n", KV.first.c_str(),
+                  (unsigned long long)KV.second->value());
+    Out += Line;
+  }
+  for (const auto &KV : Gauges) {
+    if (!Match(KV.first))
+      continue;
+    std::snprintf(Line, sizeof(Line), "%-44s %s\n", KV.first.c_str(),
+                  formatDouble(KV.second->value()).c_str());
+    Out += Line;
+  }
+  for (const auto &KV : Histograms) {
+    if (!Match(KV.first))
+      continue;
+    Histogram::Snapshot S = KV.second->snapshot();
+    std::snprintf(Line, sizeof(Line),
+                  "%-44s count=%llu sum=%s min=%s max=%s\n",
+                  KV.first.c_str(), (unsigned long long)S.Count,
+                  formatDouble(S.Sum).c_str(), formatDouble(S.Min).c_str(),
+                  formatDouble(S.Max).c_str());
+    Out += Line;
+  }
+  return Out;
+}
+
+std::string Registry::dumpJson() {
+  runProviders();
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &KV : Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"' + json::escape(KV.first) +
+           "\":" + std::to_string(KV.second->value());
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  for (const auto &KV : Gauges) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"' + json::escape(KV.first) +
+           "\":" + formatDouble(KV.second->value());
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &KV : Histograms) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Histogram::Snapshot S = KV.second->snapshot();
+    Out += '"' + json::escape(KV.first) + "\":{\"count\":" +
+           std::to_string(S.Count) + ",\"sum\":" + formatDouble(S.Sum) +
+           ",\"min\":" + formatDouble(S.Min) +
+           ",\"max\":" + formatDouble(S.Max) + "}";
+  }
+  Out += "}}";
+  return Out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &KV : Counters)
+    KV.second->reset();
+  for (auto &KV : Gauges)
+    KV.second->reset();
+  for (auto &KV : Histograms)
+    KV.second->reset();
+}
+
+std::string lift::obs::formatCounts(
+    const std::vector<std::pair<std::string, std::uint64_t>> &KVs) {
+  std::string S;
+  for (const auto &KV : KVs) {
+    if (KV.second == 0)
+      continue;
+    if (!S.empty())
+      S += ", ";
+    S += KV.first;
+    S += '=';
+    S += std::to_string(KV.second);
+  }
+  return S.empty() ? "none" : S;
+}

@@ -1,0 +1,141 @@
+//===- Metrics.h - Named counters, gauges and histograms -------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics registry: process-wide named counters, gauges and
+/// histograms with deterministic JSON and text dumps.
+///
+/// This replaces the hand-rolled stat structs scattered through the
+/// pipeline (PruneStats printing, interning hit/miss snapshots, bench
+/// harness roll-ups) with one first-class facility:
+///
+///  * Counter — monotonically increasing uint64, relaxed atomic adds.
+///    Because counters are pure sums they are order-independent: a
+///    jobs=8 tune produces exactly the same totals as jobs=1.
+///  * Gauge — a last-write-wins double (frontier depth, hit rates).
+///  * Histogram — count/sum/min/max plus power-of-two buckets, for
+///    per-candidate wall times.
+///  * Providers — callbacks run at dump time that refresh gauges from
+///    subsystems that keep their own internal stats (e.g. the ArithCtx
+///    interning arena).
+///
+/// Metric objects are created on first lookup and never deallocated,
+/// so hot paths may cache the returned reference. Lookups take a
+/// registry mutex; increments are lock-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_OBS_METRICS_H
+#define LIFT_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lift {
+namespace obs {
+
+/// A monotonically increasing event count.
+class Counter {
+public:
+  void inc(std::uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  std::uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> V{0};
+};
+
+/// A last-write-wins instantaneous value.
+class Gauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0};
+};
+
+/// Count/sum/min/max plus log2 buckets. observe() takes a short mutex
+/// (histograms record coarse events like per-candidate wall times, not
+/// per-node work).
+class Histogram {
+public:
+  void observe(double X);
+  struct Snapshot {
+    std::uint64_t Count = 0;
+    double Sum = 0, Min = 0, Max = 0;
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+private:
+  mutable std::mutex M;
+  std::uint64_t Count = 0;
+  double Sum = 0, Min = 0, Max = 0;
+  std::uint64_t Buckets[64] = {}; ///< Buckets[i]: 2^(i-1) <= v < 2^i
+};
+
+/// The process-wide metrics registry.
+class Registry {
+public:
+  static Registry &global();
+
+  /// Returns (creating on first use) the named metric. References stay
+  /// valid for the life of the process.
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Registers a dump-time refresher for gauges owned by another
+  /// subsystem. Providers run (outside the registry lock) at the start
+  /// of every dump/snapshot call.
+  void addProvider(std::function<void(Registry &)> Fn);
+
+  /// All counter values whose name starts with \p Prefix, sorted by
+  /// name. Runs providers first.
+  std::map<std::string, std::uint64_t>
+  counterValues(const std::string &Prefix = std::string());
+
+  /// Human-readable dump, one "name value" line per metric, sorted by
+  /// name, optionally restricted to a prefix. Runs providers first.
+  std::string dumpText(const std::string &Prefix = std::string());
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with keys
+  /// sorted by name. Runs providers first.
+  std::string dumpJson();
+
+  /// Zeroes every metric (registrations and providers are kept).
+  void reset();
+
+private:
+  void runProviders();
+
+  std::mutex M;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  std::vector<std::function<void(Registry &)>> Providers;
+};
+
+/// Formats non-zero counts as "a=1, b=2" (in the given order), or
+/// "none" when every count is zero. The one key=value formatter behind
+/// PruneStats::describe() and the report paths.
+std::string
+formatCounts(const std::vector<std::pair<std::string, std::uint64_t>> &KVs);
+
+} // namespace obs
+} // namespace lift
+
+#endif // LIFT_OBS_METRICS_H

@@ -1,0 +1,98 @@
+//===- Obs.cpp - Observability session for drivers -------------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+using namespace lift;
+using namespace lift::obs;
+
+bool lift::obs::parseObsFlag(const char *Arg, ObsOptions &O) {
+  if (std::strncmp(Arg, "--trace=", 8) == 0) {
+    O.TracePath = Arg + 8;
+    return true;
+  }
+  if (std::strncmp(Arg, "--metrics=", 10) == 0) {
+    O.MetricsPath = Arg + 10;
+    return true;
+  }
+  if (std::strcmp(Arg, "--obs-report") == 0) {
+    O.Report = true;
+    return true;
+  }
+  return false;
+}
+
+ObsOptions lift::obs::parseObsOptions(int Argc, char **Argv) {
+  ObsOptions O;
+  for (int I = 1; I < Argc; ++I)
+    parseObsFlag(Argv[I], O);
+  return O;
+}
+
+ObsSession::ObsSession(ObsOptions Opts) : O(std::move(Opts)) {
+  if (!O.TracePath.empty())
+    Tracer::global().enable();
+  if (O.any())
+    FlightRecorder::global().setEnabled(true);
+}
+
+ObsSession::~ObsSession() {
+  if (!Finished)
+    finish();
+}
+
+std::string lift::obs::metricsDocumentJson() {
+  std::string Out = "{\n\"metrics\": ";
+  Out += Registry::global().dumpJson();
+  Out += ",\n\"tunes\": ";
+  Out += FlightRecorder::global().exportJsonArray();
+  Out += "\n}\n";
+  return Out;
+}
+
+int ObsSession::finish() {
+  if (Finished)
+    return 0;
+  Finished = true;
+  int Rc = 0;
+
+  if (!O.TracePath.empty()) {
+    Tracer::global().disable();
+    if (!Tracer::global().writeChromeJson(O.TracePath))
+      Rc = 1;
+    else
+      std::fprintf(stderr, "obs: wrote trace to %s (%zu events)\n",
+                   O.TracePath.c_str(), Tracer::global().eventCount());
+  }
+
+  if (!O.MetricsPath.empty()) {
+    std::ofstream OS(O.MetricsPath);
+    if (!OS) {
+      std::fprintf(stderr, "obs: cannot open metrics file %s for writing\n",
+                   O.MetricsPath.c_str());
+      Rc = 1;
+    } else {
+      OS << metricsDocumentJson();
+      if (!OS)
+        Rc = 1;
+      else
+        std::fprintf(stderr, "obs: wrote metrics to %s\n",
+                     O.MetricsPath.c_str());
+    }
+  }
+
+  if (O.Report) {
+    std::printf("\n== metrics ==\n%s",
+                Registry::global().dumpText().c_str());
+    std::printf("\n== tuner flight recorder ==\n%s",
+                FlightRecorder::global().summary().c_str());
+  }
+  return Rc;
+}

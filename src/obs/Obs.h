@@ -1,0 +1,83 @@
+//===- Obs.h - Observability session for drivers ---------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-stop driver interface to the observability subsystem:
+/// parse the shared command-line flags, arm the tracer / metrics /
+/// flight recorder, and write everything out at exit. Used by
+/// tools/liftc and every tuning/bench harness so they all expose the
+/// same three flags with the same semantics:
+///
+///   --trace=<file>    span trace as Chrome trace_event JSON
+///                     (open in chrome://tracing or ui.perfetto.dev)
+///   --metrics=<file>  metrics registry + per-candidate tuner records
+///                     as JSON
+///   --obs-report      human-readable metrics dump + tuner flight
+///                     summary on stdout at exit
+///
+/// With none of the flags present nothing is armed and the
+/// instrumentation in the pipeline stays on its no-op path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_OBS_OBS_H
+#define LIFT_OBS_OBS_H
+
+#include "obs/FlightRecorder.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <string>
+
+namespace lift {
+namespace obs {
+
+/// Parsed observability flags.
+struct ObsOptions {
+  std::string TracePath;
+  std::string MetricsPath;
+  bool Report = false;
+
+  bool any() const {
+    return Report || !TracePath.empty() || !MetricsPath.empty();
+  }
+};
+
+/// Recognizes one argument (--trace=<f>, --metrics=<f>, --obs-report).
+/// Returns true when consumed.
+bool parseObsFlag(const char *Arg, ObsOptions &O);
+
+/// Scans the whole command line for the observability flags (without
+/// removing them; the harnesses' own parsers ignore what they do not
+/// know).
+ObsOptions parseObsOptions(int Argc, char **Argv);
+
+/// RAII-ish driver session: arms the collectors on construction,
+/// finish() writes the files and prints the report. finish() is
+/// idempotent; the destructor calls it as a safety net.
+class ObsSession {
+public:
+  explicit ObsSession(ObsOptions O);
+  ~ObsSession();
+
+  /// Writes --trace/--metrics files and prints the --obs-report dump.
+  /// Returns 0 on success, 1 when an output file could not be written.
+  int finish();
+
+private:
+  ObsOptions O;
+  bool Finished = false;
+};
+
+/// The metrics document written for --metrics: the registry dump plus
+/// the tuner flight-recorder sweeps.
+std::string metricsDocumentJson();
+
+} // namespace obs
+} // namespace lift
+
+#endif // LIFT_OBS_OBS_H

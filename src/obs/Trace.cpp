@@ -1,0 +1,237 @@
+//===- Trace.cpp - Low-overhead span tracer --------------------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+using namespace lift;
+using namespace lift::obs;
+
+std::atomic<bool> Tracer::EnabledFlag{false};
+
+namespace {
+
+std::uint64_t steadyNs() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+// The calling thread's buffer for the current tracer generation,
+// checked (and refreshed) on every record; clear() invalidates it by
+// bumping the generation. ThreadBuf is private to Tracer, so the cache
+// is an opaque pointer only Tracer code assigns.
+thread_local void *TlsBuf = nullptr;
+thread_local std::uint64_t TlsGen = 0;
+
+} // namespace
+
+Tracer &Tracer::global() {
+  // Leaked intentionally, like ArithCtx::global(): spans may close in
+  // static teardown paths.
+  static Tracer *T = new Tracer();
+  return *T;
+}
+
+Tracer::Tracer() { EpochNs = steadyNs(); }
+
+std::uint64_t Tracer::nowNs() const { return steadyNs() - EpochNs; }
+
+void Tracer::enable() {
+  clear();
+  {
+    std::lock_guard<std::mutex> Lock(RegM);
+    EpochNs = steadyNs();
+  }
+  EnabledFlag.store(true, std::memory_order_relaxed);
+  // Register the enabling thread eagerly so it gets tid 0 ("main")
+  // even if a pool worker records first.
+  registerThread();
+}
+
+void Tracer::disable() {
+  EnabledFlag.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  EnabledFlag.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(RegM);
+  Bufs.clear();
+  MainSeen = false;
+  NonPoolSeq = 0;
+  // Invalidate every thread's cached buffer pointer.
+  Gen.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuf *Tracer::registerThread() {
+  std::uint64_t CurGen = Gen.load(std::memory_order_relaxed);
+  if (TlsBuf && TlsGen == CurGen)
+    return static_cast<ThreadBuf *>(TlsBuf);
+
+  std::lock_guard<std::mutex> Lock(RegM);
+  CurGen = Gen.load(std::memory_order_relaxed);
+  auto Buf = std::make_unique<ThreadBuf>();
+  unsigned W = ThreadPool::workerIndex();
+  if (W != 0) {
+    // A background pool worker: its spawn index is the stable row id.
+    Buf->Tid = W;
+    Buf->ThreadName = "worker-" + std::to_string(W);
+  } else if (!MainSeen) {
+    // The first non-pool thread (the parallelFor caller, logical
+    // worker 0) is the driver thread.
+    MainSeen = true;
+    Buf->Tid = 0;
+    Buf->ThreadName = "main";
+  } else {
+    // Any further non-pool thread; parked far above worker indices.
+    Buf->Tid = 1000 + NonPoolSeq++;
+    Buf->ThreadName = "thread-" + std::to_string(Buf->Tid);
+  }
+  ThreadBuf *Raw = Buf.get();
+  Bufs.push_back(std::move(Buf));
+  TlsBuf = Raw;
+  TlsGen = CurGen;
+  return Raw;
+}
+
+void Tracer::record(TraceEvent E) {
+  ThreadBuf *B = registerThread();
+  std::lock_guard<std::mutex> Lock(B->M);
+  B->Events.push_back(std::move(E));
+}
+
+std::size_t Tracer::eventCount() const {
+  std::lock_guard<std::mutex> Lock(RegM);
+  std::size_t N = 0;
+  for (const auto &B : Bufs) {
+    std::lock_guard<std::mutex> BL(B->M);
+    N += B->Events.size();
+  }
+  return N;
+}
+
+namespace {
+
+void appendMicros(std::string &Out, std::uint64_t Ns) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%llu.%03llu",
+                (unsigned long long)(Ns / 1000),
+                (unsigned long long)(Ns % 1000));
+  Out += Buf;
+}
+
+} // namespace
+
+std::string Tracer::exportChromeJson() const {
+  std::lock_guard<std::mutex> Lock(RegM);
+
+  // Stable output: rows ordered by tid.
+  std::vector<ThreadBuf *> Order;
+  Order.reserve(Bufs.size());
+  for (const auto &B : Bufs)
+    Order.push_back(B.get());
+  std::sort(Order.begin(), Order.end(),
+            [](const ThreadBuf *A, const ThreadBuf *B) {
+              return A->Tid < B->Tid;
+            });
+
+  std::string Out = "{\"traceEvents\":[\n";
+  bool First = true;
+  auto Sep = [&] {
+    if (!First)
+      Out += ",\n";
+    First = false;
+  };
+
+  for (ThreadBuf *B : Order) {
+    Sep();
+    Out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(B->Tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           json::escape(B->ThreadName) + "\"}}";
+  }
+
+  for (ThreadBuf *B : Order) {
+    std::lock_guard<std::mutex> BL(B->M);
+    for (const TraceEvent &E : B->Events) {
+      Sep();
+      Out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(B->Tid) +
+             ",\"name\":\"" + json::escape(E.Name) + "\",\"cat\":\"" +
+             json::escape(E.Cat) + "\",\"ts\":";
+      appendMicros(Out, E.StartNs);
+      Out += ",\"dur\":";
+      appendMicros(Out, E.DurNs);
+      if (!E.Args.empty()) {
+        Out += ",\"args\":{";
+        Out += E.Args;
+        Out += "}";
+      }
+      Out += "}";
+    }
+  }
+
+  Out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return Out;
+}
+
+bool Tracer::writeChromeJson(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "obs: cannot open trace file %s for writing\n",
+                 Path.c_str());
+    return false;
+  }
+  OS << exportChromeJson();
+  return bool(OS);
+}
+
+void Span::begin(std::string N, const char *C) {
+  Live = true;
+  Cat = C;
+  Name = std::move(N);
+  StartNs = Tracer::global().nowNs();
+}
+
+void Span::finish() {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.StartNs = StartNs;
+  std::uint64_t End = Tracer::global().nowNs();
+  E.DurNs = End > StartNs ? End - StartNs : 0;
+  E.Args = std::move(Args);
+  Tracer::global().record(std::move(E));
+  Live = false;
+}
+
+void Span::arg(const char *Key, std::int64_t V) {
+  if (!Live)
+    return;
+  if (!Args.empty())
+    Args += ',';
+  Args += '"';
+  Args += json::escape(Key);
+  Args += "\":";
+  Args += std::to_string(V);
+}
+
+void Span::arg(const char *Key, const std::string &V) {
+  if (!Live)
+    return;
+  if (!Args.empty())
+    Args += ',';
+  Args += '"';
+  Args += json::escape(Key);
+  Args += "\":\"";
+  Args += json::escape(V);
+  Args += '"';
+}

@@ -6,6 +6,7 @@
 
 #include "ocl/ParallelSim.h"
 
+#include "obs/Trace.h"
 #include "support/Support.h"
 #include "support/ThreadPool.h"
 
@@ -665,8 +666,11 @@ void ParallelExecutor::runRegion(const TopStmt &Region) {
     Pool.parallelFor(
         NumChunks,
         [&](std::size_t C) {
+          obs::Span ChunkSpan("sim.chunk", "sim");
+          ChunkSpan.arg("chunk", std::int64_t(C));
           ShardState &S = Shards[C];
           std::int64_t Lo = ChunkLo(C), Hi = ChunkLo(C + 1);
+          ChunkSpan.arg("items", Hi - Lo);
           for (std::int64_t I = Lo; I != Hi; ++I) {
             for (std::size_t L = 0; L != Region.Levels.size(); ++L)
               S.Slots[std::size_t(Region.Levels[L].Slot)] =
@@ -703,10 +707,14 @@ void ParallelExecutor::runRegion(const TopStmt &Region) {
 }
 
 void ParallelExecutor::run() {
+  obs::Span RunSpan("sim.run", "sim");
+  RunSpan.arg("kernel", K.Name);
+  RunSpan.arg("jobs", std::int64_t(Jobs));
   for (const TopStmt &T : TopLevel) {
     if (T.IsRegion)
       runRegion(T);
     else
       execStmt(T.S, Main);
   }
+  RunSpan.arg("flops", std::int64_t(Main.Counters.Flops));
 }

@@ -6,6 +6,8 @@
 
 #include "ocl/Sim.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Support.h"
 
 #include <algorithm>
@@ -132,7 +134,29 @@ std::vector<float> Executor::bufferContents(int BufferId) const {
   return Out;
 }
 
-void Executor::run() { execStmts(K.Body); }
+void Executor::run() {
+  obs::Span RunSpan("sim.run", "sim");
+  RunSpan.arg("kernel", K.Name);
+  execStmts(K.Body);
+  RunSpan.arg("flops", std::int64_t(Counters.Flops));
+}
+
+void lift::ocl::exportCountersToMetrics(const ExecCounters &C,
+                                        const std::string &Prefix) {
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter(Prefix + "global_loads").inc(C.GlobalLoads);
+  Reg.counter(Prefix + "global_stores").inc(C.GlobalStores);
+  Reg.counter(Prefix + "global_load_line_misses")
+      .inc(C.GlobalLoadLineMisses);
+  Reg.counter(Prefix + "local_loads").inc(C.LocalLoads);
+  Reg.counter(Prefix + "local_stores").inc(C.LocalStores);
+  Reg.counter(Prefix + "private_accesses").inc(C.PrivateAccesses);
+  Reg.counter(Prefix + "flops").inc(C.Flops);
+  Reg.counter(Prefix + "user_fun_calls").inc(C.UserFunCalls);
+  Reg.counter(Prefix + "loop_iterations").inc(C.LoopIterations);
+  Reg.counter(Prefix + "barriers").inc(C.Barriers);
+  Reg.counter(Prefix + "select_evals").inc(C.SelectEvals);
+}
 
 void Executor::execStmts(const std::vector<StmtPtr> &Stmts) {
   for (const StmtPtr &S : Stmts)

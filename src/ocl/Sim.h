@@ -84,6 +84,13 @@ struct NDRangeInfo {
 /// Computes the exact-fit NDRange shape of \p K under \p Sizes.
 NDRangeInfo analyzeNDRange(const Kernel &K, const SizeEnv &Sizes);
 
+/// Adds one execution's counters into the global metrics registry
+/// (obs/Metrics.h) under \p Prefix (e.g. "sim." -> "sim.global_loads").
+/// Used by the runner for whole-process roll-ups and by the tuner for
+/// its per-candidate deterministic roll-ups.
+void exportCountersToMetrics(const ExecCounters &C,
+                             const std::string &Prefix);
+
 /// Executes kernels functionally while counting events.
 class Executor {
 public:

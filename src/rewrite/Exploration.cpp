@@ -8,6 +8,8 @@
 
 #include "ir/StructuralHash.h"
 #include "ir/TypeInference.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <deque>
 #include <unordered_set>
@@ -72,7 +74,10 @@ ExprPtr applyAtRec(const Rule &R, const ExprPtr &E, int &Occurrence) {
 ExprPtr lift::rewrite::applyAtOccurrence(const Rule &R, const ExprPtr &E,
                                          int Occurrence) {
   int Remaining = Occurrence;
-  return applyAtRec(R, E, Remaining);
+  ExprPtr New = applyAtRec(R, E, Remaining);
+  if (New)
+    noteRuleApplications(R, 1);
+  return New;
 }
 
 std::vector<Rule> lift::rewrite::stencilExplorationRules() {
@@ -91,6 +96,19 @@ std::vector<Rule> lift::rewrite::stencilExplorationRules() {
 std::vector<Derivation> lift::rewrite::explore(const Program &Start,
                                                const std::vector<Rule> &Rules,
                                                const ExplorationOptions &O) {
+  obs::Span ExploreSpan("explore", "rewrite");
+  ExploreSpan.arg("rules", std::int64_t(Rules.size()));
+  ExploreSpan.arg("max_depth", std::int64_t(O.MaxDepth));
+  ExploreSpan.arg("max_programs", std::int64_t(O.MaxPrograms));
+  obs::Registry &Reg = obs::Registry::global();
+  obs::Counter &ProgramCount = Reg.counter("rewrite.explore.programs");
+  // Structural-hash dedup hits: candidates rediscovered through a
+  // different derivation and rejected by the Seen probe.
+  obs::Counter &DedupHits = Reg.counter("rewrite.explore.dedup_hits");
+  obs::Gauge &Frontier = Reg.gauge("rewrite.explore.frontier");
+  obs::Gauge &MaxFrontier = Reg.gauge("rewrite.explore.frontier_peak");
+  double FrontierPeak = 0;
+
   std::vector<Derivation> Result;
   // Candidate programs are deduplicated by alpha-invariant structural
   // hash and equality (ir/StructuralHash.h): no program is ever printed
@@ -111,8 +129,17 @@ std::vector<Derivation> lift::rewrite::explore(const Program &Start,
   Seen.insert(First);
   Result.push_back(Derivation{First, {}});
   Queue.push_back(WorkItem{First, {}, 0});
+  ProgramCount.inc();
+
+  auto FinishSpan = [&] {
+    MaxFrontier.set(FrontierPeak);
+    Frontier.set(0);
+    ExploreSpan.arg("programs", std::int64_t(Result.size()));
+  };
 
   while (!Queue.empty() && int(Result.size()) < O.MaxPrograms) {
+    FrontierPeak = std::max(FrontierPeak, double(Queue.size()));
+    Frontier.set(double(Queue.size()));
     WorkItem Item = std::move(Queue.front());
     Queue.pop_front();
     if (Item.Depth >= O.MaxDepth)
@@ -130,8 +157,10 @@ std::vector<Derivation> lift::rewrite::explore(const Program &Start,
         // raw candidate (still sharing subtrees with its parent) is an
         // equivalent key, and duplicates — the common case in a
         // saturating search — cost only a hash and a comparison.
-        if (Seen.find(Candidate) != Seen.end())
+        if (Seen.find(Candidate) != Seen.end()) {
+          DedupHits.inc();
           continue;
+        }
         // Clone so derivations never share mutable type state.
         Candidate = cloneProgram(Candidate);
         // Types let rules check static validity constraints (e.g. the
@@ -141,12 +170,16 @@ std::vector<Derivation> lift::rewrite::explore(const Program &Start,
         std::vector<std::string> Applied = Item.Applied;
         Applied.push_back(R.Name);
         Result.push_back(Derivation{Candidate, Applied});
+        ProgramCount.inc();
         Queue.push_back(
             WorkItem{Candidate, std::move(Applied), Item.Depth + 1});
-        if (int(Result.size()) >= O.MaxPrograms)
+        if (int(Result.size()) >= O.MaxPrograms) {
+          FinishSpan();
           return Result;
+        }
       }
     }
   }
+  FinishSpan();
   return Result;
 }

@@ -7,6 +7,8 @@
 #include "rewrite/Lowering.h"
 
 #include "ir/TypeInference.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "stencil/StencilOps.h"
 #include "support/Support.h"
 
@@ -204,10 +206,9 @@ ExprPtr lowerEmbeddedNests(const ExprPtr &E) {
   return rebuildCallArgs(*C, std::move(NewArgs));
 }
 
-} // namespace
-
-Program lift::rewrite::lowerStencil(const Program &P,
-                                    const LoweringOptions &O) {
+/// The actual lowering; the public entry point wraps it with a trace
+/// span and success/failure counters.
+Program lowerStencilImpl(const Program &P, const LoweringOptions &O) {
   Program Copy = cloneProgram(P);
 
   // Expand any iterate into repeated application first.
@@ -318,5 +319,21 @@ Program lift::rewrite::lowerStencil(const Program &P,
     Result = makeProgram(Result->getParams(), NewBody);
     inferTypes(Result);
   }
+  return Result;
+}
+
+} // namespace
+
+Program lift::rewrite::lowerStencil(const Program &P,
+                                    const LoweringOptions &O) {
+  obs::Span LowerSpan("lower", "rewrite");
+  LowerSpan.arg("variant", O.describe());
+  Program Result = lowerStencilImpl(P, O);
+  obs::Registry &Reg = obs::Registry::global();
+  if (Result)
+    Reg.counter("rewrite.lowerings").inc();
+  else
+    Reg.counter("rewrite.lowerings_failed").inc();
+  LowerSpan.arg("ok", std::int64_t(Result ? 1 : 0));
   return Result;
 }

@@ -7,6 +7,7 @@
 #include "rewrite/Rules.h"
 
 #include "ir/TypeInference.h"
+#include "obs/Metrics.h"
 #include "support/Support.h"
 
 #include <cassert>
@@ -39,7 +40,23 @@ static ExprPtr rebuildCall(const CallExpr &C, std::size_t ArgIdx,
   return NC;
 }
 
-ExprPtr lift::rewrite::applyFirst(const Rule &R, const ExprPtr &E) {
+/// Bumps the per-rule match/apply metrics ("rewrite.rule.match.<name>"
+/// and "rewrite.rule.apply.<name>"). Counters are pure sums, so the
+/// totals are identical for any tuner/simulator thread count. Called
+/// once per engine entry point, never per node.
+void lift::rewrite::noteRuleMatches(const Rule &R, int N) {
+  if (N > 0)
+    obs::Registry::global().counter("rewrite.rule.match." + R.Name).inc(
+        std::uint64_t(N));
+}
+
+void lift::rewrite::noteRuleApplications(const Rule &R, int N) {
+  if (N > 0)
+    obs::Registry::global().counter("rewrite.rule.apply." + R.Name).inc(
+        std::uint64_t(N));
+}
+
+static ExprPtr applyFirstRec(const Rule &R, const ExprPtr &E) {
   if (ExprPtr New = R.Apply(E))
     return New;
   switch (E->getKind()) {
@@ -48,7 +65,7 @@ ExprPtr lift::rewrite::applyFirst(const Rule &R, const ExprPtr &E) {
     return nullptr;
   case Expr::Kind::Lambda: {
     const auto *L = dynCast<LambdaExpr>(E);
-    ExprPtr NewBody = applyFirst(R, L->getBody());
+    ExprPtr NewBody = applyFirstRec(R, L->getBody());
     if (!NewBody)
       return nullptr;
     return lambda(L->getParams(), std::move(NewBody), L->getAddrSpace());
@@ -56,7 +73,7 @@ ExprPtr lift::rewrite::applyFirst(const Rule &R, const ExprPtr &E) {
   case Expr::Kind::Call: {
     const auto *C = dynCast<CallExpr>(E);
     for (std::size_t I = 0, N = C->getArgs().size(); I != N; ++I) {
-      if (ExprPtr NewArg = applyFirst(R, C->getArgs()[I]))
+      if (ExprPtr NewArg = applyFirstRec(R, C->getArgs()[I]))
         return rebuildCall(*C, I, std::move(NewArg));
     }
     return nullptr;
@@ -65,8 +82,15 @@ ExprPtr lift::rewrite::applyFirst(const Rule &R, const ExprPtr &E) {
   unreachable("covered switch");
 }
 
-ExprPtr lift::rewrite::applyEverywhere(const Rule &R, const ExprPtr &E,
-                                       int &Applications) {
+ExprPtr lift::rewrite::applyFirst(const Rule &R, const ExprPtr &E) {
+  ExprPtr New = applyFirstRec(R, E);
+  if (New)
+    noteRuleApplications(R, 1);
+  return New;
+}
+
+static ExprPtr applyEverywhereRec(const Rule &R, const ExprPtr &E,
+                                  int &Applications) {
   // Bottom-up: rewrite children first, then try the node itself.
   ExprPtr Cur = E;
   switch (E->getKind()) {
@@ -75,7 +99,7 @@ ExprPtr lift::rewrite::applyEverywhere(const Rule &R, const ExprPtr &E,
     break;
   case Expr::Kind::Lambda: {
     const auto *L = dynCast<LambdaExpr>(E);
-    ExprPtr NewBody = applyEverywhere(R, L->getBody(), Applications);
+    ExprPtr NewBody = applyEverywhereRec(R, L->getBody(), Applications);
     if (NewBody.get() != L->getBody().get())
       Cur = lambda(L->getParams(), std::move(NewBody), L->getAddrSpace());
     break;
@@ -83,7 +107,7 @@ ExprPtr lift::rewrite::applyEverywhere(const Rule &R, const ExprPtr &E,
   case Expr::Kind::Call: {
     const auto *C = dynCast<CallExpr>(E);
     for (std::size_t I = 0, N = C->getArgs().size(); I != N; ++I) {
-      ExprPtr NewArg = applyEverywhere(R, C->getArgs()[I], Applications);
+      ExprPtr NewArg = applyEverywhereRec(R, C->getArgs()[I], Applications);
       if (NewArg.get() != C->getArgs()[I].get()) {
         Cur = rebuildCall(*dynCast<CallExpr>(Cur), I, std::move(NewArg));
       }
@@ -98,21 +122,35 @@ ExprPtr lift::rewrite::applyEverywhere(const Rule &R, const ExprPtr &E,
   return Cur;
 }
 
-int lift::rewrite::countMatches(const Rule &R, const ExprPtr &E) {
+ExprPtr lift::rewrite::applyEverywhere(const Rule &R, const ExprPtr &E,
+                                       int &Applications) {
+  int Before = Applications;
+  ExprPtr New = applyEverywhereRec(R, E, Applications);
+  noteRuleApplications(R, Applications - Before);
+  return New;
+}
+
+static int countMatchesRec(const Rule &R, const ExprPtr &E) {
   int Count = R.Apply(E) ? 1 : 0;
   switch (E->getKind()) {
   case Expr::Kind::Literal:
   case Expr::Kind::Param:
     return Count;
   case Expr::Kind::Lambda:
-    return Count + countMatches(R, dynCast<LambdaExpr>(E)->getBody());
+    return Count + countMatchesRec(R, dynCast<LambdaExpr>(E)->getBody());
   case Expr::Kind::Call: {
     for (const ExprPtr &A : dynCast<CallExpr>(E)->getArgs())
-      Count += countMatches(R, A);
+      Count += countMatchesRec(R, A);
     return Count;
   }
   }
   unreachable("covered switch");
+}
+
+int lift::rewrite::countMatches(const Rule &R, const ExprPtr &E) {
+  int Count = countMatchesRec(R, E);
+  noteRuleMatches(R, Count);
+  return Count;
 }
 
 Program lift::rewrite::rewriteProgram(const Rule &R, const Program &P) {

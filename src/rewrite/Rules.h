@@ -60,6 +60,14 @@ ir::ExprPtr applyEverywhere(const Rule &R, const ir::ExprPtr &E,
 /// Counts positions where \p R matches.
 int countMatches(const Rule &R, const ir::ExprPtr &E);
 
+/// Metric hooks shared by the engine entry points: every successful
+/// match scan / application bumps the per-rule
+/// "rewrite.rule.{match,apply}.<name>" counters in the metrics
+/// registry (obs/Metrics.h). Exposed so out-of-line appliers (e.g.
+/// exploration's applyAtOccurrence) report through the same counters.
+void noteRuleMatches(const Rule &R, int N);
+void noteRuleApplications(const Rule &R, int N);
+
 /// Rewrites a program body with applyFirst; returns a fresh program
 /// (inputs shared) or nullptr if the rule matched nowhere. The result
 /// has types re-inferred.

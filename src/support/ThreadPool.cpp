@@ -7,6 +7,11 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 using namespace lift;
 
@@ -14,6 +19,12 @@ namespace {
 /// Set while the current thread executes a pool task; nested
 /// parallelFor calls check it to run inline.
 thread_local bool InsidePoolTask = false;
+
+/// Spawn-order index of the current background worker (0 when the
+/// thread is not a pool worker). Fixed for the thread's lifetime, so
+/// trace events attribute work to stable rows even though the
+/// work-stealing loop hands out ranges dynamically.
+thread_local unsigned PoolWorkerIndex = 0;
 } // namespace
 
 unsigned ThreadPool::hardwareConcurrency() {
@@ -30,11 +41,22 @@ ThreadPool &ThreadPool::shared() {
 
 bool ThreadPool::insideTask() { return InsidePoolTask; }
 
+unsigned ThreadPool::workerIndex() { return PoolWorkerIndex; }
+
 ThreadPool::ThreadPool(unsigned Workers) {
   NumWorkers = Workers == 0 ? hardwareConcurrency() : Workers;
-  // The caller of parallelFor is worker 0; spawn the rest.
+  // The caller of parallelFor is worker 0; spawn the rest with their
+  // stable spawn-order indices.
   for (unsigned I = 1; I < NumWorkers; ++I)
-    Threads.emplace_back([this] { workerLoop(); });
+    Threads.emplace_back([this, I] {
+      PoolWorkerIndex = I;
+#if defined(__linux__)
+      // Visible in top -H, perf and native profilers (15-char limit).
+      std::string Name = "lift-w" + std::to_string(I);
+      pthread_setname_np(pthread_self(), Name.c_str());
+#endif
+      workerLoop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

@@ -77,6 +77,16 @@ public:
   /// any pool). Used to run nested parallel loops inline.
   static bool insideTask();
 
+  /// Stable worker index of the current thread, for trace/metric
+  /// attribution: the I-th spawned background worker of its pool
+  /// returns I (in [1, workers())), fixed at spawn time and
+  /// independent of which loop ranges it later claims or steals.
+  /// Threads that are not pool workers — including the caller of
+  /// parallelFor, which participates as logical worker 0 — return 0.
+  /// Background threads are also named "lift-wI" at the OS level so
+  /// native profilers agree with the trace rows.
+  static unsigned workerIndex();
+
   /// Runs Body(I) for every I in [0, N), using at most
   /// min(MaxParallelism, workers()) threads (0 = no extra cap). Blocks
   /// until every iteration has finished. Calls from inside a pool task

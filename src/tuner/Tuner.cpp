@@ -8,10 +8,14 @@
 
 #include "codegen/Runner.h"
 #include "ir/StructuralHash.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Support.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <memory>
@@ -58,23 +62,13 @@ std::uint64_t PruneStats::total() const {
 }
 
 std::string PruneStats::describe() const {
-  std::string S;
-  auto Add = [&S](const char *Name, std::uint64_t N) {
-    if (N == 0)
-      return;
-    if (!S.empty())
-      S += ", ";
-    S += Name;
-    S += "=";
-    S += std::to_string(N);
-  };
-  Add("tile-step-misaligned", TileStepMisaligned);
-  Add("tile-indivisible", TileIndivisible);
-  Add("tile-coarsen-misaligned", TileCoarsenMisaligned);
-  Add("local-mem-overflow", LocalMemOverflow);
-  Add("coarsen-indivisible", CoarsenIndivisible);
-  Add("lowering-failed", LoweringFailed);
-  return S.empty() ? "none" : S;
+  return obs::formatCounts(
+      {{"tile-step-misaligned", TileStepMisaligned},
+       {"tile-indivisible", TileIndivisible},
+       {"tile-coarsen-misaligned", TileCoarsenMisaligned},
+       {"local-mem-overflow", LocalMemOverflow},
+       {"coarsen-indivisible", CoarsenIndivisible},
+       {"lowering-failed", LoweringFailed}});
 }
 
 namespace {
@@ -131,6 +125,28 @@ enum class PruneReason {
   CoarsenIndivisible,
   LoweringFailed,
 };
+
+/// The stable names shared by the "tuner.prune.<name>" metric keys,
+/// PruneStats::describe() and the flight-recorder records.
+const char *pruneReasonName(PruneReason R) {
+  switch (R) {
+  case PruneReason::None:
+    return "";
+  case PruneReason::TileStepMisaligned:
+    return "tile-step-misaligned";
+  case PruneReason::TileIndivisible:
+    return "tile-indivisible";
+  case PruneReason::TileCoarsenMisaligned:
+    return "tile-coarsen-misaligned";
+  case PruneReason::LocalMemOverflow:
+    return "local-mem-overflow";
+  case PruneReason::CoarsenIndivisible:
+    return "coarsen-indivisible";
+  case PruneReason::LoweringFailed:
+    return "lowering-failed";
+  }
+  unreachable("covered switch");
+}
 
 /// Memoizes (counters, NDRange analysis) of one simulated execution,
 /// keyed on the *lowered* program's structural identity plus the size
@@ -224,7 +240,7 @@ private:
 
 Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
                    const Candidate &C, unsigned Jobs, EvalMemo *Memo,
-                   PruneReason &Why) {
+                   PruneReason &Why, obs::CandidateRecord *Rec) {
   Why = PruneReason::None;
   Evaluated R;
   R.C = C;
@@ -270,6 +286,8 @@ Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
     Why = PruneReason::LoweringFailed;
     return R;
   }
+  if (Rec)
+    Rec->LoweredHash = ir::structuralHash(Low);
 
   CacheConfig Cache = scaledCache(Dev.Cache, P.Measure, P.Target);
   auto MeasureEnv = makeSizeEnv(I, P.Measure);
@@ -296,6 +314,12 @@ Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
       Ent->publish(Counters, ND);
   }
 
+  // Per-candidate simulation roll-up. Counted for memo-served
+  // candidates too (re-adding the shared counters), so the totals
+  // depend only on the candidate set — identical at any job count and
+  // with or without the memo, unlike the runner-level "sim." totals.
+  exportCountersToMetrics(Counters, "tuner.sim.");
+
   double CountScale =
       double(totalElems(P.Target)) / double(totalElems(P.Measure));
   ExecCounters Scaled = scaleCounters(Counters, CountScale);
@@ -306,19 +330,67 @@ Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
   return R;
 }
 
+/// evalImpl plus observability: the per-candidate trace span, wall
+/// time, prune/valid counters and the flight-recorder record fields
+/// (everything except Index, which only the sweep loop knows).
+Evaluated evalInstrumented(const TuningProblem &P, const DeviceSpec &Dev,
+                           const Candidate &C, unsigned Jobs, EvalMemo *Memo,
+                           PruneReason &Why, obs::CandidateRecord *Rec) {
+  obs::Span CandSpan("tuner.candidate", "tuner");
+  CandSpan.arg("variant", C.describe());
+  auto T0 = std::chrono::steady_clock::now();
+  Evaluated R = evalImpl(P, Dev, C, Jobs, Memo, Why, Rec);
+  double WallUs = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("tuner.candidates.enumerated").inc();
+  if (R.Valid)
+    Reg.counter("tuner.candidates.valid").inc();
+  else
+    Reg.counter(std::string("tuner.prune.") + pruneReasonName(Why)).inc();
+  if (R.FromMemo)
+    Reg.counter("tuner.memo.hits").inc();
+  Reg.histogram("tuner.candidate.wall_us").observe(WallUs);
+  if (Rec) {
+    Rec->Variant = C.describe();
+    Rec->PredictedTime = R.Valid ? R.T.Total : 0;
+    Rec->GElemsPerSec = R.GElemsPerSec;
+    Rec->PruneReason = pruneReasonName(Why);
+    Rec->FromMemo = R.FromMemo;
+    Rec->Valid = R.Valid;
+    Rec->WallMicros = WallUs;
+  }
+  CandSpan.arg("valid", std::int64_t(R.Valid ? 1 : 0));
+  return R;
+}
+
 } // namespace
 
 Evaluated lift::tuner::evaluateCandidate(const TuningProblem &P,
                                          const DeviceSpec &Dev,
                                          const Candidate &C, unsigned Jobs) {
   PruneReason Why;
-  return evalImpl(P, Dev, C, Jobs, /*Memo=*/nullptr, Why);
+  return evalInstrumented(P, Dev, C, Jobs, /*Memo=*/nullptr, Why,
+                          /*Rec=*/nullptr);
 }
 
 TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
                                     const DeviceSpec &Dev,
                                     const TuningSpace &Space,
                                     const TuneOptions &Opts) {
+  obs::Span TuneSpan("tune", "tuner");
+  TuneSpan.arg("benchmark", P.B->Name);
+  TuneSpan.arg("jobs", std::int64_t(Opts.Jobs));
+  // Materialize every prune counter up front so metric dumps always
+  // carry the full reason set, zeros included — prefix comparisons
+  // between runs then compare identical key sets.
+  obs::Registry &Reg = obs::Registry::global();
+  for (const char *Name :
+       {"tile-step-misaligned", "tile-indivisible", "tile-coarsen-misaligned",
+        "local-mem-overflow", "coarsen-indivisible", "lowering-failed"})
+    Reg.counter(std::string("tuner.prune.") + Name);
+
   std::vector<Candidate> Candidates;
 
   std::vector<bool> Unrolls = {false};
@@ -369,10 +441,21 @@ TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
   // simulator, no memo, plain loop.
   EvalMemo *MemoPtr = Opts.UseMemo && Opts.Jobs != 1 ? &Memo : nullptr;
 
+  obs::FlightRecorder &Recorder = obs::FlightRecorder::global();
+  const bool Record = Recorder.enabled();
+  if (Record)
+    Recorder.beginTune(P.B->Name, Candidates.size());
+  TuneSpan.arg("candidates", std::int64_t(Candidates.size()));
+
   unsigned Par =
       Opts.Jobs == 0 ? ThreadPool::shared().workers() : Opts.Jobs;
   auto EvalOne = [&](std::size_t I) {
-    Evals[I] = evalImpl(P, Dev, Candidates[I], Opts.Jobs, MemoPtr, Reasons[I]);
+    obs::CandidateRecord Rec;
+    Rec.Index = I;
+    Evals[I] = evalInstrumented(P, Dev, Candidates[I], Opts.Jobs, MemoPtr,
+                                Reasons[I], Record ? &Rec : nullptr);
+    if (Record)
+      Recorder.record(I, std::move(Rec));
   };
   if (Par <= 1) {
     for (std::size_t I = 0; I != Candidates.size(); ++I)

@@ -1,0 +1,104 @@
+//===- JsonTest.cpp - Observability JSON layer ----------------------------===//
+//
+// Part of the liftcpp project.
+//
+// The minimal JSON layer must round-trip everything the trace/metrics
+// exporters emit (escapes included) and reject malformed input with a
+// located error, because trace_check and the tests below rely on it to
+// validate exporter output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift::obs::json;
+
+namespace {
+
+TEST(Json, EscapeCoversQuotesBackslashesAndControls) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("a\nb\tc"), "a\\nb\\tc");
+  // Control characters without a short form become \u00XX.
+  EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ParsesScalars) {
+  Value V;
+  ASSERT_TRUE(parse("null", V));
+  EXPECT_TRUE(V.isNull());
+  ASSERT_TRUE(parse("true", V));
+  EXPECT_TRUE(V.isBool());
+  EXPECT_TRUE(V.asBool());
+  ASSERT_TRUE(parse("false", V));
+  EXPECT_FALSE(V.asBool());
+  ASSERT_TRUE(parse("-12.5e2", V));
+  EXPECT_TRUE(V.isNumber());
+  EXPECT_DOUBLE_EQ(V.asNumber(), -1250.0);
+  ASSERT_TRUE(parse("\"a\\nb\\u0041\"", V));
+  EXPECT_TRUE(V.isString());
+  EXPECT_EQ(V.asString(), "a\nbA");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  Value V;
+  ASSERT_TRUE(parse("{\"xs\": [1, {\"y\": \"z\"}, []], \"n\": null}", V));
+  ASSERT_TRUE(V.isObject());
+  const Value *Xs = V.find("xs");
+  ASSERT_NE(Xs, nullptr);
+  ASSERT_TRUE(Xs->isArray());
+  ASSERT_EQ(Xs->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(Xs->array()[0].asNumber(), 1.0);
+  const Value *Y = Xs->array()[1].find("y");
+  ASSERT_NE(Y, nullptr);
+  EXPECT_EQ(Y->asString(), "z");
+  EXPECT_TRUE(Xs->array()[2].array().empty());
+  const Value *N = V.find("n");
+  ASSERT_NE(N, nullptr);
+  EXPECT_TRUE(N->isNull());
+  EXPECT_EQ(V.find("missing"), nullptr);
+}
+
+TEST(Json, FindReturnsFirstDuplicateKey) {
+  Value V;
+  ASSERT_TRUE(parse("{\"k\": 1, \"k\": 2}", V));
+  ASSERT_NE(V.find("k"), nullptr);
+  EXPECT_DOUBLE_EQ(V.find("k")->asNumber(), 1.0);
+  EXPECT_EQ(V.object().size(), 2u);
+}
+
+TEST(Json, SerializeParsesBack) {
+  Value Doc = Value::makeObject();
+  Doc.set("name", Value::string("span \"x\"\n"));
+  Doc.set("count", Value::number(42));
+  Doc.set("ok", Value::boolean(true));
+  Value Arr = Value::makeArray();
+  Arr.push(Value::number(1.5));
+  Arr.push(Value::null());
+  Doc.set("xs", std::move(Arr));
+
+  Value Back;
+  ASSERT_TRUE(parse(Doc.serialize(), Back)) << Doc.serialize();
+  EXPECT_EQ(Back.find("name")->asString(), "span \"x\"\n");
+  EXPECT_DOUBLE_EQ(Back.find("count")->asNumber(), 42.0);
+  EXPECT_TRUE(Back.find("ok")->asBool());
+  ASSERT_EQ(Back.find("xs")->array().size(), 2u);
+  EXPECT_TRUE(Back.find("xs")->array()[1].isNull());
+}
+
+TEST(Json, RejectsMalformedInputWithError) {
+  Value V;
+  std::string Err;
+  // Truncated object, bad literal, trailing garbage, lone comma.
+  for (const char *Bad : {"{\"a\": 1", "tru", "1 2", "[1,]", "{\"a\" 1}",
+                          "\"unterminated", ""}) {
+    Err.clear();
+    EXPECT_FALSE(parse(Bad, V, &Err)) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+  }
+}
+
+} // namespace

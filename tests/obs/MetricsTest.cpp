@@ -1,0 +1,150 @@
+//===- MetricsTest.cpp - Metrics registry -----------------------------------===//
+//
+// Part of the liftcpp project.
+//
+// The registry's contract: metric references are stable, dumps are
+// sorted and parse as JSON, providers refresh subsystem gauges at dump
+// time, and counter sums are order-independent (the property the
+// jobs=1 vs jobs=8 determinism guarantee rests on).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::obs;
+
+namespace {
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  C.inc(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+
+  Gauge G;
+  G.set(2.5);
+  EXPECT_DOUBLE_EQ(G.value(), 2.5);
+  G.set(-1);
+  EXPECT_DOUBLE_EQ(G.value(), -1.0);
+
+  Histogram H;
+  EXPECT_EQ(H.snapshot().Count, 0u);
+  H.observe(4);
+  H.observe(1);
+  H.observe(10);
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 3u);
+  EXPECT_DOUBLE_EQ(S.Sum, 15.0);
+  EXPECT_DOUBLE_EQ(S.Min, 1.0);
+  EXPECT_DOUBLE_EQ(S.Max, 10.0);
+}
+
+TEST(Metrics, RegistryReturnsStableReferences) {
+  Registry &R = Registry::global();
+  Counter &A = R.counter("test.metrics.stable");
+  A.inc(7);
+  Counter &B = R.counter("test.metrics.stable");
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(B.value(), 7u);
+  A.reset();
+}
+
+TEST(Metrics, CounterValuesFiltersByPrefixSorted) {
+  Registry &R = Registry::global();
+  R.counter("test.prefix.b").inc(2);
+  R.counter("test.prefix.a").inc(1);
+  R.counter("test.other.c").inc(3);
+
+  std::map<std::string, std::uint64_t> Vals =
+      R.counterValues("test.prefix.");
+  ASSERT_EQ(Vals.size(), 2u);
+  EXPECT_EQ(Vals["test.prefix.a"], 1u);
+  EXPECT_EQ(Vals["test.prefix.b"], 2u);
+
+  std::string Text = R.dumpText("test.prefix.");
+  std::size_t PosA = Text.find("test.prefix.a");
+  std::size_t PosB = Text.find("test.prefix.b");
+  EXPECT_NE(PosA, std::string::npos);
+  EXPECT_NE(PosB, std::string::npos);
+  EXPECT_LT(PosA, PosB); // sorted by name
+
+  R.counter("test.prefix.a").reset();
+  R.counter("test.prefix.b").reset();
+  R.counter("test.other.c").reset();
+}
+
+TEST(Metrics, DumpJsonParsesBackWithAllSections) {
+  Registry &R = Registry::global();
+  R.counter("test.dump.count").inc(5);
+  R.gauge("test.dump.rate").set(0.5);
+  R.histogram("test.dump.wall").observe(3.0);
+
+  json::Value Doc;
+  std::string Err;
+  ASSERT_TRUE(json::parse(R.dumpJson(), Doc, &Err)) << Err;
+  const json::Value *Counters = Doc.find("counters");
+  const json::Value *Gauges = Doc.find("gauges");
+  const json::Value *Hists = Doc.find("histograms");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_NE(Gauges, nullptr);
+  ASSERT_NE(Hists, nullptr);
+  ASSERT_NE(Counters->find("test.dump.count"), nullptr);
+  EXPECT_DOUBLE_EQ(Counters->find("test.dump.count")->asNumber(), 5.0);
+  ASSERT_NE(Gauges->find("test.dump.rate"), nullptr);
+  EXPECT_DOUBLE_EQ(Gauges->find("test.dump.rate")->asNumber(), 0.5);
+  const json::Value *Wall = Hists->find("test.dump.wall");
+  ASSERT_NE(Wall, nullptr);
+  ASSERT_NE(Wall->find("count"), nullptr);
+  EXPECT_DOUBLE_EQ(Wall->find("count")->asNumber(), 1.0);
+
+  R.counter("test.dump.count").reset();
+  R.gauge("test.dump.rate").reset();
+  R.histogram("test.dump.wall").reset();
+}
+
+TEST(Metrics, ProvidersRefreshGaugesAtDumpTime) {
+  Registry &R = Registry::global();
+  // Static: providers live as long as the registry, so the callback
+  // must not capture stack locals.
+  static int Calls = 0;
+  R.addProvider([](Registry &Reg) {
+    Reg.gauge("test.provider.refreshed").set(double(++Calls));
+  });
+  int Before = Calls;
+  R.counterValues("test.");
+  R.dumpText("test.");
+  EXPECT_GE(Calls, Before + 2);
+  EXPECT_DOUBLE_EQ(R.gauge("test.provider.refreshed").value(),
+                   double(Calls));
+}
+
+TEST(Metrics, ConcurrentIncrementsSumExactly) {
+  // The determinism contract for tuner counters: sums of atomic
+  // increments are schedule-independent.
+  Registry &R = Registry::global();
+  Counter &C = R.counter("test.concurrent.sum");
+  C.reset();
+  ThreadPool Pool(8);
+  Pool.parallelFor(1000, [&](std::size_t I) { C.inc(I % 3 + 1); });
+  std::uint64_t Want = 0;
+  for (std::size_t I = 0; I != 1000; ++I)
+    Want += I % 3 + 1;
+  EXPECT_EQ(C.value(), Want);
+  C.reset();
+}
+
+TEST(Metrics, FormatCountsSkipsZerosAndKeepsOrder) {
+  EXPECT_EQ(formatCounts({}), "none");
+  EXPECT_EQ(formatCounts({{"a", 0}, {"b", 0}}), "none");
+  EXPECT_EQ(formatCounts({{"b", 2}, {"a", 1}, {"zero", 0}}), "b=2, a=1");
+}
+
+} // namespace

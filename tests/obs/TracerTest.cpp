@@ -1,0 +1,168 @@
+//===- TracerTest.cpp - Span tracer -----------------------------------------===//
+//
+// Part of the liftcpp project.
+//
+// The tracer's contract: disabled spans record nothing, enabled spans
+// export as Chrome trace_event JSON that parses back (validated with
+// the obs JSON parser, as trace_check does), nesting in the C++ scope
+// structure is visible in the timestamps, and spans recorded from
+// ThreadPool workers land on the worker's stable trace row.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Trace.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+
+using namespace lift;
+using namespace lift::obs;
+
+namespace {
+
+/// Parses the tracer's export and returns the "traceEvents" array.
+json::Value parsedEvents() {
+  json::Value Doc;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Tracer::global().exportChromeJson(), Doc, &Err))
+      << Err;
+  const json::Value *Events = Doc.find("traceEvents");
+  EXPECT_NE(Events, nullptr);
+  EXPECT_TRUE(Events && Events->isArray());
+  return Events ? *Events : json::Value::makeArray();
+}
+
+/// First "X" event with the given name, or nullptr.
+const json::Value *findSpan(const json::Value &Events,
+                            const std::string &Name) {
+  for (const json::Value &E : Events.array())
+    if (E.find("ph")->asString() == "X" &&
+        E.find("name")->asString() == Name)
+      return &E;
+  return nullptr;
+}
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  Tracer &T = Tracer::global();
+  T.clear(); // also disables
+  {
+    Span S("should-not-appear", "test");
+    S.arg("k", std::int64_t(1));
+    S.arg("s", std::string("v"));
+  }
+  EXPECT_EQ(T.eventCount(), 0u);
+}
+
+TEST(Tracer, NestedSpansExportValidChromeJson) {
+  Tracer &T = Tracer::global();
+  T.enable();
+  {
+    Span Outer("outer", "test");
+    Outer.arg("label", std::string("a \"quoted\" value"));
+    {
+      Span Inner("inner", "test");
+      Inner.arg("n", std::int64_t(-7));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  T.disable();
+  ASSERT_EQ(T.eventCount(), 2u);
+
+  json::Value Events = parsedEvents();
+  // Thread metadata for the registered main thread.
+  bool MainNamed = false;
+  for (const json::Value &E : Events.array())
+    if (E.find("ph")->asString() == "M" &&
+        E.find("args")->find("name")->asString() == "main" &&
+        E.find("tid")->asNumber() == 0)
+      MainNamed = true;
+  EXPECT_TRUE(MainNamed);
+
+  const json::Value *Outer = findSpan(Events, "outer");
+  const json::Value *Inner = findSpan(Events, "inner");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+
+  // Scope nesting shows up in the timestamps: inner starts no earlier
+  // and ends no later than outer.
+  double OuterTs = Outer->find("ts")->asNumber();
+  double OuterEnd = OuterTs + Outer->find("dur")->asNumber();
+  double InnerTs = Inner->find("ts")->asNumber();
+  double InnerEnd = InnerTs + Inner->find("dur")->asNumber();
+  EXPECT_GE(InnerTs, OuterTs);
+  EXPECT_LE(InnerEnd, OuterEnd);
+
+  // Args survive the escape/parse round trip.
+  EXPECT_EQ(Outer->find("args")->find("label")->asString(),
+            "a \"quoted\" value");
+  EXPECT_DOUBLE_EQ(Inner->find("args")->find("n")->asNumber(), -7.0);
+  EXPECT_EQ(Outer->find("cat")->asString(), "test");
+
+  T.clear();
+}
+
+TEST(Tracer, PoolWorkersGetStableTraceRows) {
+  Tracer &T = Tracer::global();
+  T.clear();
+  T.enable();
+
+  // A private 8-worker pool (independent of the hardware size) so
+  // spans really do come from concurrent background threads.
+  ThreadPool Pool(8);
+  ASSERT_EQ(Pool.workers(), 8u);
+  Pool.parallelFor(64, [](std::size_t I) {
+    Span S("work", "test");
+    S.arg("item", std::int64_t(I));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+
+  T.disable();
+  json::Value Events = parsedEvents();
+
+  std::map<double, std::string> ThreadNames; // tid -> metadata name
+  std::set<double> WorkTids;
+  std::set<double> Items;
+  for (const json::Value &E : Events.array()) {
+    const std::string &Ph = E.find("ph")->asString();
+    double Tid = E.find("tid")->asNumber();
+    if (Ph == "M")
+      ThreadNames[Tid] = E.find("args")->find("name")->asString();
+    if (Ph == "X" && E.find("name")->asString() == "work") {
+      WorkTids.insert(Tid);
+      Items.insert(E.find("args")->find("item")->asNumber());
+    }
+  }
+
+  // Every iteration recorded exactly once, across more than one row.
+  EXPECT_EQ(Items.size(), 64u);
+  EXPECT_GT(WorkTids.size(), 1u);
+  for (double Tid : WorkTids) {
+    ASSERT_TRUE(ThreadNames.count(Tid)) << "tid " << Tid << " unnamed";
+    const std::string &Name = ThreadNames[Tid];
+    if (Tid == 0)
+      EXPECT_EQ(Name, "main");
+    else
+      EXPECT_EQ(Name, "worker-" + std::to_string(unsigned(Tid)));
+  }
+
+  T.clear();
+}
+
+TEST(Tracer, ClearDropsBufferedEvents) {
+  Tracer &T = Tracer::global();
+  T.clear();
+  T.enable();
+  { Span S("ephemeral", "test"); }
+  EXPECT_EQ(T.eventCount(), 1u);
+  T.clear();
+  EXPECT_EQ(T.eventCount(), 0u);
+  EXPECT_FALSE(Tracer::enabled());
+}
+
+} // namespace

@@ -10,17 +10,22 @@
 //   liftc lower <benchmark> [variant options]
 //   liftc emit  <benchmark> [variant options]
 //   liftc run   <benchmark> [variant options] [--extents a,b,c]
-//   liftc tune  <benchmark> [--device <name>] [--large]
+//   liftc tune  <benchmark> [--device <name>] [--large] [--jobs <n>]
 //
 // Variant options: --tile <v> --local --unroll --coarsen <c>
 //                  --tile-coarsen <c>
+//
+// Observability (every command): --trace=<file> --metrics=<file>
+//                                --obs-report
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/AccessAnalysis.h"
 #include "codegen/Runner.h"
 #include "ir/TypeInference.h"
+#include "obs/Obs.h"
 #include "ocl/Emitter.h"
+#include "rewrite/Exploration.h"
 #include "rewrite/Lowering.h"
 #include "stencil/Benchmarks.h"
 #include "tuner/Tuner.h"
@@ -50,9 +55,12 @@ int usage() {
       "  run <bench> [variant] [--extents a,b,c]\n"
       "                                execute on the simulator\n"
       "  tune <bench> [--device <NvidiaK20c|AmdHd7970|MaliT628>] [--large]\n"
-      "                                search the implementation space\n"
+      "               [--jobs <n>]      search the implementation space\n"
       "variant: --tile <v> [--local] [--tile-coarsen <c>] | --coarsen <c>;"
-      " plus [--unroll]\n");
+      " plus [--unroll]\n"
+      "observability (any command): --trace=<file> (Chrome trace_event\n"
+      "  JSON for chrome://tracing / ui.perfetto.dev), --metrics=<file>\n"
+      "  (metrics + tuner flight records as JSON), --obs-report\n");
   return 1;
 }
 
@@ -63,6 +71,8 @@ struct Args {
   Extents ExtentsOverride;
   std::string Device = "NvidiaK20c";
   bool Large = false;
+  unsigned Jobs = 1;
+  obs::ObsOptions Obs;
 };
 
 bool parseArgs(int Argc, char **Argv, Args &A) {
@@ -83,7 +93,14 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       Out = std::atoll(Argv[++I]);
       return true;
     };
-    if (Opt == "--tile") {
+    if (obs::parseObsFlag(Argv[I], A.Obs)) {
+      continue;
+    } else if (Opt == "--jobs") {
+      std::int64_t N = 0;
+      if (!NextInt(N) || N < 0)
+        return false;
+      A.Jobs = unsigned(N);
+    } else if (Opt == "--tile") {
       A.Options.Tile = true;
       if (!NextInt(A.Options.TileOutputs))
         return false;
@@ -172,7 +189,8 @@ int cmdRun(const Args &A) {
     return 1;
   }
   std::vector<std::vector<float>> Inputs = makeBenchmarkInputs(B, E);
-  RunResult R = runCompiled(C, Inputs, makeSizeEnv(I, E));
+  RunResult R = runCompiled(C, Inputs, makeSizeEnv(I, E),
+                            ocl::CacheConfig(), A.Jobs);
 
   // Validate against the independent golden implementation.
   std::vector<float> Want = B.Golden(Inputs, E);
@@ -203,7 +221,21 @@ int cmdTune(const Args &A) {
   const Benchmark &B = findBenchmark(A.Bench);
   ocl::DeviceSpec Dev = findDevice(A.Device);
   tuner::TuningProblem P = tuner::makeProblem(B, A.Large);
-  tuner::TuneResult R = tuner::tuneStencil(P, Dev, tuner::liftSpace());
+
+  // A bounded exploration pre-pass over the rewrite space: confirms the
+  // high-level program admits rewrites and surfaces the rule engine
+  // (explore span, per-rule match/apply counters) in tuning traces.
+  ExplorationOptions EO;
+  EO.MaxDepth = 2;
+  EO.MaxPrograms = 64;
+  std::vector<Derivation> Ds =
+      explore(P.Instance.P, stencilExplorationRules(), EO);
+  std::printf("explored %zu rewrite variants of %s (depth <= %d)\n",
+              Ds.size(), B.Name.c_str(), EO.MaxDepth);
+
+  tuner::TuneOptions TO;
+  TO.Jobs = A.Jobs;
+  tuner::TuneResult R = tuner::tuneStencil(P, Dev, tuner::liftSpace(), TO);
   std::sort(R.All.begin(), R.All.end(),
             [](const tuner::Evaluated &X, const tuner::Evaluated &Y) {
               return X.GElemsPerSec > Y.GElemsPerSec;
@@ -215,6 +247,11 @@ int cmdTune(const Args &A) {
   for (const tuner::Evaluated &E : R.All)
     std::printf("%-30s %12.3f%s\n", E.C.describe().c_str(), E.GElemsPerSec,
                 &E == &R.All.front() ? "   <-- best" : "");
+  std::printf("pruned %llu of %zu candidates (%s), %llu memo hits\n",
+              (unsigned long long)R.Prunes.total(),
+              R.All.size() + std::size_t(R.Prunes.total()),
+              R.Prunes.describe().c_str(),
+              (unsigned long long)R.MemoHits);
   return 0;
 }
 
@@ -225,8 +262,14 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, A))
     return usage();
 
+  obs::ObsSession Session(A.Obs);
+  auto Done = [&Session](int RC) {
+    int ObsRC = Session.finish();
+    return RC ? RC : ObsRC;
+  };
+
   if (A.Command == "list")
-    return cmdList();
+    return Done(cmdList());
 
   if (A.Command == "show") {
     const Benchmark &B = findBenchmark(A.Bench);
@@ -234,7 +277,7 @@ int main(int Argc, char **Argv) {
     ir::TypePtr T = ir::inferTypes(I.P);
     std::printf("%s\n\nresult type: %s\n", ir::toString(I.P).c_str(),
                 T->toString().c_str());
-    return 0;
+    return Done(0);
   }
 
   if (A.Command == "lower") {
@@ -242,7 +285,7 @@ int main(int Argc, char **Argv) {
     BenchmarkInstance I = B.Build();
     ir::Program Low = lowerOrDie(B, I, A.Options);
     std::printf("%s\n", ir::toString(Low).c_str());
-    return 0;
+    return Done(0);
   }
 
   if (A.Command == "emit") {
@@ -251,7 +294,7 @@ int main(int Argc, char **Argv) {
     ir::Program Low = lowerOrDie(B, I, A.Options);
     Compiled C = compileProgram(Low, B.Name);
     std::printf("%s", ocl::emitOpenCL(C.K).c_str());
-    return 0;
+    return Done(0);
   }
 
   if (A.Command == "analyze") {
@@ -277,13 +320,13 @@ int main(int Argc, char **Argv) {
                 R.count(AccessPattern::Irregular),
                 R.count(AccessPattern::Sequential),
                 R.fullyCoalesced() ? "fully coalesced" : "NOT coalesced");
-    return 0;
+    return Done(0);
   }
 
   if (A.Command == "run")
-    return cmdRun(A);
+    return Done(cmdRun(A));
   if (A.Command == "tune")
-    return cmdTune(A);
+    return Done(cmdTune(A));
 
   return usage();
 }

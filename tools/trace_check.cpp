@@ -1,0 +1,204 @@
+//===- trace_check.cpp - Validate observability output files ---------------===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+// Validates the files the --trace/--metrics flags produce, for CI and
+// for quick local sanity checks:
+//
+//   trace_check --trace t.json [--expect-span NAME]...
+//   trace_check --metrics m.json [--expect-counter NAME]...
+//
+// A trace file must parse as JSON, carry a "traceEvents" array, and
+// every event must have the Chrome trace_event required fields (name,
+// ph, pid, tid, ts; complete "X" events also dur). A metrics file must
+// parse and carry the {"metrics": {...}, "tunes": [...]} document
+// shape. --expect-span/--expect-counter assert that a span name
+// appears among the events / a counter key exists in the dump.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using lift::obs::json::Value;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_check [--trace <file>] [--expect-span <name>]...\n"
+               "                   [--metrics <file>] [--expect-counter "
+               "<name>]...\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "trace_check: cannot read %s\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool parseFile(const std::string &Path, Value &Doc) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return false;
+  std::string Err;
+  if (!lift::obs::json::parse(Text, Doc, &Err)) {
+    std::fprintf(stderr, "trace_check: %s: malformed JSON: %s\n",
+                 Path.c_str(), Err.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Chrome trace_event structural validation + span-name collection.
+bool checkTrace(const std::string &Path,
+                const std::vector<std::string> &ExpectSpans) {
+  Value Doc;
+  if (!parseFile(Path, Doc))
+    return false;
+  const Value *Events = Doc.find("traceEvents");
+  if (!Events || !Events->isArray()) {
+    std::fprintf(stderr, "trace_check: %s: no \"traceEvents\" array\n",
+                 Path.c_str());
+    return false;
+  }
+  std::vector<std::string> SpanNames;
+  std::size_t Idx = 0;
+  for (const Value &E : Events->array()) {
+    auto Missing = [&](const char *Field) {
+      std::fprintf(stderr, "trace_check: %s: event %zu missing \"%s\"\n",
+                   Path.c_str(), Idx, Field);
+      return false;
+    };
+    if (!E.isObject()) {
+      std::fprintf(stderr, "trace_check: %s: event %zu is not an object\n",
+                   Path.c_str(), Idx);
+      return false;
+    }
+    const Value *Name = E.find("name");
+    const Value *Ph = E.find("ph");
+    if (!Name || !Name->isString())
+      return Missing("name");
+    if (!Ph || !Ph->isString())
+      return Missing("ph");
+    for (const char *Field : {"pid", "tid"}) {
+      const Value *F = E.find(Field);
+      if (!F || !F->isNumber())
+        return Missing(Field);
+    }
+    if (Ph->asString() == "X") {
+      for (const char *Field : {"ts", "dur"}) {
+        const Value *F = E.find(Field);
+        if (!F || !F->isNumber())
+          return Missing(Field);
+      }
+      SpanNames.push_back(Name->asString());
+    }
+    ++Idx;
+  }
+  bool Ok = true;
+  for (const std::string &Want : ExpectSpans) {
+    bool Found = false;
+    for (const std::string &Have : SpanNames)
+      if (Have == Want) {
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      std::fprintf(stderr, "trace_check: %s: no span named \"%s\"\n",
+                   Path.c_str(), Want.c_str());
+      Ok = false;
+    }
+  }
+  if (Ok)
+    std::printf("trace_check: %s: %zu events, %zu spans, OK\n", Path.c_str(),
+                Idx, SpanNames.size());
+  return Ok;
+}
+
+bool checkMetrics(const std::string &Path,
+                  const std::vector<std::string> &ExpectCounters) {
+  Value Doc;
+  if (!parseFile(Path, Doc))
+    return false;
+  const Value *Metrics = Doc.find("metrics");
+  if (!Metrics || !Metrics->isObject()) {
+    std::fprintf(stderr, "trace_check: %s: no \"metrics\" object\n",
+                 Path.c_str());
+    return false;
+  }
+  const Value *Counters = Metrics->find("counters");
+  const Value *Tunes = Doc.find("tunes");
+  if (!Counters || !Counters->isObject()) {
+    std::fprintf(stderr, "trace_check: %s: no \"counters\" object\n",
+                 Path.c_str());
+    return false;
+  }
+  if (!Tunes || !Tunes->isArray()) {
+    std::fprintf(stderr, "trace_check: %s: no \"tunes\" array\n",
+                 Path.c_str());
+    return false;
+  }
+  bool Ok = true;
+  for (const std::string &Want : ExpectCounters)
+    if (!Counters->find(Want)) {
+      std::fprintf(stderr, "trace_check: %s: no counter \"%s\"\n",
+                   Path.c_str(), Want.c_str());
+      Ok = false;
+    }
+  if (Ok)
+    std::printf("trace_check: %s: %zu counters, %zu tune sweeps, OK\n",
+                Path.c_str(), Counters->object().size(),
+                Tunes->array().size());
+  return Ok;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string TracePath, MetricsPath;
+  std::vector<std::string> ExpectSpans, ExpectCounters;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Opt = Argv[I];
+    auto Next = [&](std::string &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = Argv[++I];
+      return true;
+    };
+    std::string V;
+    if (Opt == "--trace" && Next(V))
+      TracePath = V;
+    else if (Opt == "--metrics" && Next(V))
+      MetricsPath = V;
+    else if (Opt == "--expect-span" && Next(V))
+      ExpectSpans.push_back(V);
+    else if (Opt == "--expect-counter" && Next(V))
+      ExpectCounters.push_back(V);
+    else
+      return usage();
+  }
+  if (TracePath.empty() && MetricsPath.empty())
+    return usage();
+
+  bool Ok = true;
+  if (!TracePath.empty())
+    Ok &= checkTrace(TracePath, ExpectSpans);
+  if (!MetricsPath.empty())
+    Ok &= checkMetrics(MetricsPath, ExpectCounters);
+  return Ok ? 0 : 1;
+}
