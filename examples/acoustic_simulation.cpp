@@ -28,7 +28,12 @@ int main() {
   BenchmarkInstance I = B.Build();
 
   LoweringOptions O;
-  Program Low = lowerStencil(I.P, O);
+  std::string WhyNot;
+  Program Low = lowerStencil(I.P, O, &WhyNot);
+  if (!Low) {
+    std::fprintf(stderr, "lowering failed: %s\n", WhyNot.c_str());
+    return 1;
+  }
   Compiled C = compileProgram(Low, "acoustic");
 
   // A small room: 16 x 24 x 24 grid points.

@@ -56,8 +56,14 @@ int main() {
   TiledLocal.TileOutputs = 8;
   TiledLocal.UseLocalMem = true;
 
-  Program LowPlain = lowerStencil(P, Plain);
-  Program LowTiled = lowerStencil(P, TiledLocal);
+  std::string WhyNot;
+  Program LowPlain = lowerStencil(P, Plain, &WhyNot);
+  Program LowTiled = LowPlain ? lowerStencil(P, TiledLocal, &WhyNot)
+                              : nullptr;
+  if (!LowPlain || !LowTiled) {
+    std::fprintf(stderr, "lowering failed: %s\n", WhyNot.c_str());
+    return 1;
+  }
   Compiled CPlain = compileProgram(LowPlain, "sharpen_plain");
   Compiled CTiled = compileProgram(LowTiled, "sharpen_tiled");
 

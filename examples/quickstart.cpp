@@ -67,7 +67,12 @@ int main() {
 
   // --- 5. Lower + generate OpenCL + simulate --------------------------
   LoweringOptions O; // one work-item per output element
-  Program Low = lowerStencil(P, O);
+  std::string WhyNot;
+  Program Low = lowerStencil(P, O, &WhyNot);
+  if (!Low) {
+    std::fprintf(stderr, "lowering failed: %s\n", WhyNot.c_str());
+    return 1;
+  }
   Compiled C = compileProgram(Low, "jacobi3pt");
   std::printf("Generated OpenCL C:\n%s\n", ocl::emitOpenCL(C.K).c_str());
 

@@ -121,7 +121,7 @@ ViewPtr lift::codegen::vMapLazyFn(
 //===----------------------------------------------------------------------===//
 
 /// The symbolic equivalent of ir::resolveBoundaryIndex.
-static AExpr boundaryIndexExpr(Boundary::Kind K, AExpr I, AExpr N) {
+AExpr lift::codegen::boundaryIndexExpr(Boundary::Kind K, AExpr I, AExpr N) {
   switch (K) {
   case Boundary::Kind::Clamp:
     return clampIndex(std::move(I), std::move(N));

@@ -123,6 +123,14 @@ struct ResolveCallbacks {
   MapExpander ExpandMap;
 };
 
+/// The symbolic twin of ir::resolveBoundaryIndex: maps a possibly
+/// out-of-range index \p I into [0, N) for the Clamp / Mirror / Wrap
+/// boundary kinds. Exposed so property tests can sweep it against the
+/// concrete resolver over every sign convention edge (negative and
+/// overshooting indices go through floorMod/floorDiv). Constant has no
+/// index function and is rejected.
+AExpr boundaryIndexExpr(ir::Boundary::Kind K, AExpr I, AExpr N);
+
 /// Folds a fully-applied (scalar) view chain into a load expression:
 /// a single buffer access with a flat index, possibly wrapped in a
 /// bounds-checked Select for constant padding, or an inlined Generate /

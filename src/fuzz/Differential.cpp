@@ -1,0 +1,378 @@
+//===- Differential.cpp - Cross-oracle checking and campaigns -------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "codegen/Runner.h"
+#include "ir/StructuralHash.h"
+#include "ir/TypeInference.h"
+#include "rewrite/Exploration.h"
+#include "rewrite/Lowering.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::fuzz;
+using namespace lift::rewrite;
+using namespace lift::codegen;
+
+namespace {
+
+/// Bitwise float equality: stricter than ==, so -0.0f vs 0.0f or NaN
+/// payload drift between oracles is still a reportable divergence.
+bool bitEqual(float A, float B) {
+  std::uint32_t UA, UB;
+  std::memcpy(&UA, &A, sizeof(UA));
+  std::memcpy(&UB, &B, sizeof(UB));
+  return UA == UB;
+}
+
+/// First index where the outputs differ, or -1 when bit-identical
+/// (including equal lengths).
+std::int64_t firstDivergence(const std::vector<float> &A,
+                             const std::vector<float> &B) {
+  if (A.size() != B.size())
+    return std::int64_t(std::min(A.size(), B.size()));
+  for (std::size_t I = 0; I != A.size(); ++I)
+    if (!bitEqual(A[I], B[I]))
+      return std::int64_t(I);
+  return -1;
+}
+
+std::string renderOutputs(const std::vector<float> &V, std::size_t Around) {
+  std::ostringstream OS;
+  std::size_t Begin = Around >= 4 ? Around - 4 : 0;
+  std::size_t End = std::min(V.size(), Around + 5);
+  if (Begin > 0)
+    OS << "... ";
+  for (std::size_t I = Begin; I != End; ++I)
+    OS << "[" << I << "]=" << V[I] << " ";
+  if (End < V.size())
+    OS << "...";
+  return OS.str();
+}
+
+/// A full mismatch report for one diverging oracle pair.
+std::string mismatchReport(const std::string &Oracle,
+                           const std::vector<float> &Expected,
+                           const std::vector<float> &Got) {
+  std::int64_t At = firstDivergence(Expected, Got);
+  std::ostringstream OS;
+  OS << "oracle mismatch: " << Oracle << "\n";
+  OS << "expected " << Expected.size() << " elements, got " << Got.size()
+     << "; first divergence at index " << At << "\n";
+  std::size_t Around = At >= 0 ? std::size_t(At) : 0;
+  OS << "reference: " << renderOutputs(Expected, Around) << "\n";
+  OS << "observed:  " << renderOutputs(Got, Around) << "\n";
+  return OS.str();
+}
+
+bool countersEqual(const ocl::ExecCounters &A, const ocl::ExecCounters &B) {
+  return A.GlobalLoads == B.GlobalLoads && A.GlobalStores == B.GlobalStores &&
+         A.GlobalLoadLineMisses == B.GlobalLoadLineMisses &&
+         A.LocalLoads == B.LocalLoads && A.LocalStores == B.LocalStores &&
+         A.PrivateAccesses == B.PrivateAccesses && A.Flops == B.Flops &&
+         A.UserFunCalls == B.UserFunCalls &&
+         A.LoopIterations == B.LoopIterations && A.Barriers == B.Barriers &&
+         A.SelectEvals == B.SelectEvals;
+}
+
+std::string counterReport(const ocl::ExecCounters &A,
+                          const ocl::ExecCounters &B) {
+  std::ostringstream OS;
+  auto Row = [&](const char *Name, std::uint64_t X, std::uint64_t Y) {
+    if (X != Y)
+      OS << "  " << Name << ": " << X << " vs " << Y << "\n";
+  };
+  OS << "counter divergence:\n";
+  Row("GlobalLoads", A.GlobalLoads, B.GlobalLoads);
+  Row("GlobalStores", A.GlobalStores, B.GlobalStores);
+  Row("GlobalLoadLineMisses", A.GlobalLoadLineMisses,
+      B.GlobalLoadLineMisses);
+  Row("LocalLoads", A.LocalLoads, B.LocalLoads);
+  Row("LocalStores", A.LocalStores, B.LocalStores);
+  Row("PrivateAccesses", A.PrivateAccesses, B.PrivateAccesses);
+  Row("Flops", A.Flops, B.Flops);
+  Row("UserFunCalls", A.UserFunCalls, B.UserFunCalls);
+  Row("LoopIterations", A.LoopIterations, B.LoopIterations);
+  Row("Barriers", A.Barriers, B.Barriers);
+  Row("SelectEvals", A.SelectEvals, B.SelectEvals);
+  return OS.str();
+}
+
+/// The deliberately broken pad-merge for the harness self-test:
+/// structurally identical to padPadMergeRule but the left/right
+/// contributions of the two pads are crossed. Total length (and thus
+/// the program type) is preserved, so only value-level differential
+/// checking can catch it.
+Rule buggyPadMergeRule() {
+  Rule R;
+  R.Name = "padPadMerge(buggy)";
+  R.Apply = [](const ExprPtr &E) -> ExprPtr {
+    if (E->getKind() != Expr::Kind::Call)
+      return nullptr;
+    const auto *Outer = dynCast<CallExpr>(E);
+    if (Outer->getPrim() != Prim::Pad)
+      return nullptr;
+    const ExprPtr &InnerE = Outer->getArgs()[0];
+    if (InnerE->getKind() != Expr::Kind::Call)
+      return nullptr;
+    const auto *Inner = dynCast<CallExpr>(InnerE);
+    if (Inner->getPrim() != Prim::Pad)
+      return nullptr;
+    bool SameKind = Outer->Bdy.K == Inner->Bdy.K;
+    bool Mergeable =
+        SameKind && (Outer->Bdy.K == Boundary::Kind::Clamp ||
+                     (Outer->Bdy.K == Boundary::Kind::Constant &&
+                      Outer->Bdy.ConstVal == Inner->Bdy.ConstVal));
+    if (!Mergeable)
+      return nullptr;
+    // BUG (intentional): swaps the inner pad's sides in the merge.
+    return pad(add(Outer->PadL, Inner->PadR), add(Outer->PadR, Inner->PadL),
+               Outer->Bdy, Inner->getArgs()[0]);
+  };
+  return R;
+}
+
+/// Picks the largest v <= 8 producing an exact tile fit in every
+/// dimension, or 0 when none exists (or tiling is not applicable).
+std::int64_t pickTileOutputs(const ProgramSpec &S) {
+  if (S.Tmpl != Template::Stencil && S.Tmpl != Template::ZipStencil)
+    return 0;
+  if (S.WinStep != 1 || S.SymbolicOuter)
+    return 0;
+  // Per-dimension output extents; the layout chain only affects the
+  // outermost dimension and only Pad ops change its length.
+  std::vector<std::int64_t> Out;
+  for (unsigned D = 0; D != S.Dims; ++D) {
+    std::int64_t Len = S.Extents[D];
+    if (D == 0)
+      for (const LayoutOp &Op : S.Layout)
+        if (Op.K == LayoutOp::Kind::Pad)
+          Len += Op.A + Op.B;
+    Len += S.PadL + S.PadR;
+    std::int64_t OutD = Len - S.WinSize + 1;
+    if (OutD < 1)
+      return 0;
+    Out.push_back(OutD);
+  }
+  for (std::int64_t V = 8; V >= 2; --V) {
+    bool Fits = true;
+    for (std::int64_t O : Out)
+      Fits &= O % V == 0;
+    if (Fits)
+      return V;
+  }
+  return 0;
+}
+
+DiffResult discarded(std::string Why) {
+  DiffResult R;
+  R.Status = DiffStatus::Discarded;
+  R.Detail = std::move(Why);
+  return R;
+}
+
+DiffResult mismatch(std::string Report) {
+  DiffResult R;
+  R.Status = DiffStatus::Mismatch;
+  R.Detail = std::move(Report);
+  return R;
+}
+
+/// splitmix64: decorrelates per-program sub-seeds from the campaign
+/// seed so consecutive campaigns do not share prefixes.
+std::uint64_t splitmix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+std::vector<Rule> lift::fuzz::fuzzRuleSet(bool InjectBug) {
+  std::vector<Rule> Rules = stencilExplorationRules();
+  Rules.push_back(transposeTransposeRule());
+  if (InjectBug)
+    for (Rule &R : Rules)
+      if (R.Name == "padPadMerge")
+        R = buggyPadMergeRule();
+  return Rules;
+}
+
+DiffResult lift::fuzz::runDifferential(const ProgramSpec &S,
+                                       const DiffOptions &O) {
+  std::optional<BuiltProgram> B = buildProgram(S);
+  if (!B)
+    return discarded("spec not realizable");
+
+  // (a) Reference interpreter.
+  std::string Err;
+  std::optional<interp::Value> Ref =
+      interp::tryEvalProgram(B->P, B->Vals, B->Sizes, &Err);
+  if (!Ref)
+    return discarded("interpreter rejected the program: " + Err);
+  std::vector<float> RefFlat;
+  interp::flattenValue(*Ref, RefFlat);
+
+  // (b) Random legal rewrite sequence, re-interpreted after each step.
+  std::vector<Rule> Rules = fuzzRuleSet(O.InjectBug);
+  Program Cur = B->P;
+  std::vector<std::string> Applied;
+  for (std::uint32_t Pick : S.RewritePicks) {
+    std::vector<ApplicableRewrite> App =
+        enumerateApplicableRewrites(Cur, Rules);
+    if (App.empty())
+      break;
+    ApplicableRewrite Step = App[Pick % App.size()];
+    Cur = applyRewrite(Cur, Rules, Step);
+    Applied.push_back(Rules[Step.RuleIndex].Name);
+
+    std::optional<interp::Value> Got =
+        interp::tryEvalProgram(Cur, B->Vals, B->Sizes, &Err);
+    if (!Got) {
+      // A rule made the program partial at these concrete sizes (e.g.
+      // splitJoin on a symbolic length that is not divisible). The
+      // rules are only claimed to preserve semantics where both sides
+      // are defined, so this is a discard, not a bug.
+      std::string Names;
+      for (const std::string &N : Applied)
+        Names += (Names.empty() ? "" : " ") + N;
+      return discarded("rewrite sequence [" + Names +
+                       "] made the program partial: " + Err);
+    }
+    std::vector<float> GotFlat;
+    interp::flattenValue(*Got, GotFlat);
+    if (firstDivergence(RefFlat, GotFlat) != -1) {
+      std::string Names;
+      for (const std::string &N : Applied)
+        Names += (Names.empty() ? "" : " ") + N;
+      return mismatch(mismatchReport("rewrite sequence [" + Names + "]",
+                                     RefFlat, GotFlat));
+    }
+  }
+
+  // (c) Untiled lowering on the sequential simulator engine.
+  std::string WhyNot;
+  Program Low = lowerStencil(B->P, LoweringOptions(), &WhyNot);
+  if (!Low)
+    return discarded("untiled lowering does not apply: " + WhyNot);
+  Compiled C = compileProgram(Low, "fuzz");
+  RunResult Seq = runCompiled(C, B->Flat, B->Sizes, ocl::CacheConfig(), 1);
+  if (firstDivergence(RefFlat, Seq.Output) != -1)
+    return mismatch(
+        mismatchReport("sequential simulator vs interpreter", RefFlat,
+                       Seq.Output));
+
+  // (d) The parallel engine must be bit-identical to the sequential
+  // one in outputs *and* counters, at any job count.
+  RunResult Par =
+      runCompiled(C, B->Flat, B->Sizes, ocl::CacheConfig(), O.ParJobs);
+  if (firstDivergence(Seq.Output, Par.Output) != -1)
+    return mismatch(mismatchReport(
+        "parallel simulator (jobs=" + std::to_string(O.ParJobs) +
+            ") vs sequential",
+        Seq.Output, Par.Output));
+  if (!countersEqual(Seq.Counters, Par.Counters))
+    return mismatch(
+        "oracle mismatch: parallel simulator (jobs=" +
+        std::to_string(O.ParJobs) + ") counter determinism\n" +
+        counterReport(Seq.Counters, Par.Counters));
+
+  // (e) Tiled lowering, when an exact tile fit exists.
+  if (O.TryTiled) {
+    if (std::int64_t V = pickTileOutputs(S)) {
+      LoweringOptions TO;
+      TO.Tile = true;
+      TO.TileOutputs = V;
+      std::string TWhy;
+      if (Program TLow = lowerStencil(B->P, TO, &TWhy)) {
+        Compiled TC = compileProgram(TLow, "fuzz_tiled");
+        RunResult TSeq =
+            runCompiled(TC, B->Flat, B->Sizes, ocl::CacheConfig(), 1);
+        if (firstDivergence(RefFlat, TSeq.Output) != -1)
+          return mismatch(mismatchReport(
+              "tiled lowering (v=" + std::to_string(V) +
+                  ") vs interpreter",
+              RefFlat, TSeq.Output));
+        RunResult TPar =
+            runCompiled(TC, B->Flat, B->Sizes, ocl::CacheConfig(),
+                        O.ParJobs);
+        if (firstDivergence(TSeq.Output, TPar.Output) != -1 ||
+            !countersEqual(TSeq.Counters, TPar.Counters))
+          return mismatch(
+              "oracle mismatch: tiled parallel simulator determinism\n" +
+              counterReport(TSeq.Counters, TPar.Counters));
+      }
+    }
+  }
+
+  DiffResult R;
+  R.Status = DiffStatus::Ok;
+  return R;
+}
+
+CampaignStats lift::fuzz::runCampaign(std::uint64_t Seed, unsigned Count,
+                                      const CampaignOptions &O) {
+  CampaignStats Stats;
+  for (unsigned I = 0; I != Count; ++I) {
+    std::uint64_t SubSeed = splitmix64(Seed + I);
+    ProgramSpec S = generateSpec(SubSeed);
+    DiffResult R = runDifferential(S, O.Diff);
+    switch (R.Status) {
+    case DiffStatus::Ok:
+      ++Stats.Ok;
+      break;
+    case DiffStatus::Discarded:
+      ++Stats.Discarded;
+      break;
+    case DiffStatus::Mismatch: {
+      ++Stats.Mismatches;
+      CampaignFailure F;
+      F.Original = S;
+      F.Detail = R.Detail;
+      F.Minimal = O.Shrink ? shrinkSpec(S, O.Diff) : S;
+      if (std::optional<BuiltProgram> MB = buildProgram(F.Minimal))
+        F.MinimalPrims = countPrims(MB->P);
+      if (!O.ArtifactDir.empty()) {
+        std::string Path = O.ArtifactDir + "/liftfuzz-" +
+                           std::to_string(SubSeed) + ".txt";
+        std::ostringstream OS;
+        OS << "liftfuzz mismatch artifact\n";
+        OS << "campaign-seed: " << Seed << "\n";
+        OS << "replay: liftfuzz --seed " << Seed << " --count " << Count
+           << (O.Diff.InjectBug ? " --self-test" : "") << "\n\n";
+        OS << "== failing spec (sub-seed " << SubSeed << ") ==\n"
+           << describeSpec(S);
+        if (std::optional<BuiltProgram> OB = buildProgram(S)) {
+          OS << "program: " << toString(OB->P) << "\n";
+          OS << "structural-hash (per-process): 0x" << std::hex
+             << structuralHash(OB->P->getBody()) << std::dec << "\n";
+        }
+        OS << "\n== divergence ==\n" << R.Detail << "\n";
+        OS << "== minimal reproducer ==\n" << describeSpec(F.Minimal);
+        if (std::optional<BuiltProgram> MB = buildProgram(F.Minimal)) {
+          OS << "program: " << toString(MB->P) << "\n";
+          OS << "primitives: " << countPrims(MB->P) << "\n";
+        }
+        if (std::FILE *FP = std::fopen(Path.c_str(), "w")) {
+          std::string Text = OS.str();
+          std::fwrite(Text.data(), 1, Text.size(), FP);
+          std::fclose(FP);
+          F.ArtifactPath = Path;
+        }
+      }
+      Stats.Failures.push_back(std::move(F));
+      break;
+    }
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,264 @@
+//===- Shrink.cpp - Greedy minimization of failing fuzz specs -------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Spec-level shrinking: instead of mutating the IR tree of a failing
+// program (which can easily leave the well-typed subset), the shrinker
+// proposes strictly-smaller *specs* and keeps a candidate only when
+// runDifferential still reports a mismatch. Because every accepted step
+// decreases a lexicographic size measure, the loop terminates; because
+// acceptance re-runs the full differential check, the final spec is a
+// genuine reproducer, replayable from the artifact alone.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <algorithm>
+#include <cstdint>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::fuzz;
+
+namespace {
+
+int templateRank(Template T) {
+  switch (T) {
+  case Template::Pointwise:
+    return 0;
+  case Template::Stencil:
+    return 1;
+  case Template::ZipPointwise:
+    return 2;
+  case Template::ZipStencil:
+    return 3;
+  }
+  return 3;
+}
+
+/// Lexicographic size measure; every shrinking transformation must
+/// strictly decrease it, which is what guarantees termination. The
+/// component order encodes what "smaller" means for a human reading
+/// the reproducer: simpler template first, then fewer dimensions,
+/// fewer rewrites, shorter layout chain, concrete sizes, and only then
+/// smaller numbers.
+std::vector<std::int64_t> measure(const ProgramSpec &S) {
+  std::int64_t ExtentSum = 0;
+  for (std::int64_t E : S.Extents)
+    ExtentSum += E;
+  std::int64_t BdyCost = 0;
+  for (const Boundary &B : S.PerDimBdy)
+    BdyCost += B.K == Boundary::Kind::Clamp ? 0 : 1;
+  for (const LayoutOp &Op : S.Layout)
+    if (Op.K == LayoutOp::Kind::Pad && Op.Bdy.K != Boundary::Kind::Clamp)
+      ++BdyCost;
+  std::int64_t PickSum = 0;
+  for (std::uint32_t P : S.RewritePicks)
+    PickSum += P;
+  return {templateRank(S.Tmpl),
+          std::int64_t(S.Dims),
+          std::int64_t(S.RewritePicks.size()),
+          std::int64_t(S.Layout.size()),
+          S.SymbolicOuter ? 1 : 0,
+          ExtentSum,
+          S.WinSize + S.WinStep + S.PadL + S.PadR,
+          BdyCost,
+          PickSum};
+}
+
+/// Emits \p C and, when it still carries rewrite picks, variants with
+/// the picks collapsed to a single small literal. Structural changes
+/// (fewer dims, simpler template) change the set of applicable
+/// rewrites, so the original pick values usually stop selecting the
+/// step that caused the failure; re-aiming the pick in the same move
+/// is what lets such candidates keep failing and be accepted.
+void pushWithPickRetunes(std::vector<ProgramSpec> &Out, ProgramSpec C) {
+  if (!C.RewritePicks.empty())
+    for (std::uint32_t V = 0; V != 8; ++V) {
+      ProgramSpec R = C;
+      R.RewritePicks = {V};
+      Out.push_back(std::move(R));
+    }
+  Out.push_back(std::move(C));
+}
+
+/// All one-step smaller variants of \p S, roughly biggest win first.
+std::vector<ProgramSpec> proposals(const ProgramSpec &S) {
+  std::vector<ProgramSpec> Out;
+
+  // Zip templates -> their single-input counterpart.
+  if (S.Tmpl == Template::ZipStencil || S.Tmpl == Template::ZipPointwise) {
+    ProgramSpec C = S;
+    C.Tmpl = S.Tmpl == Template::ZipStencil ? Template::Stencil
+                                            : Template::Pointwise;
+    C.NumInputs = 1;
+    pushWithPickRetunes(Out, std::move(C));
+  }
+
+  // Stencil -> Pointwise, folding the stencil's own pad into the
+  // layout chain (1D only; the layout chain acts on the outermost
+  // dimension). This keeps pad-pad structure alive, so pad-related
+  // rewrite bugs survive all the way down to map(pad(pad(x))).
+  if (S.Tmpl == Template::Stencil && S.Dims == 1) {
+    ProgramSpec C = S;
+    C.Tmpl = Template::Pointwise;
+    if (S.PadL != 0 || S.PadR != 0) {
+      LayoutOp P;
+      P.K = LayoutOp::Kind::Pad;
+      P.A = S.PadL;
+      P.B = S.PadR;
+      P.Bdy = S.PerDimBdy.empty() ? Boundary::clamp() : S.PerDimBdy[0];
+      C.Layout.insert(C.Layout.begin(), P);
+    }
+    C.WinSize = 1;
+    C.WinStep = 1;
+    C.PadL = 0;
+    C.PadR = 0;
+    C.UseMax = false;
+    pushWithPickRetunes(Out, std::move(C));
+  }
+
+  // Drop the innermost dimension.
+  if (S.Dims > 1) {
+    ProgramSpec C = S;
+    --C.Dims;
+    C.Extents.pop_back();
+    if (!C.PerDimBdy.empty())
+      C.PerDimBdy.pop_back();
+    // A transpose pair needs two dimensions.
+    if (C.Dims < 2)
+      C.Layout.erase(std::remove_if(C.Layout.begin(), C.Layout.end(),
+                                    [](const LayoutOp &Op) {
+                                      return Op.K ==
+                                             LayoutOp::Kind::TransposePair;
+                                    }),
+                     C.Layout.end());
+    pushWithPickRetunes(Out, std::move(C));
+  }
+
+  // Drop one rewrite pick.
+  for (std::size_t I = 0; I != S.RewritePicks.size(); ++I) {
+    ProgramSpec C = S;
+    C.RewritePicks.erase(C.RewritePicks.begin() + std::ptrdiff_t(I));
+    Out.push_back(C);
+  }
+
+  // Drop one layout op.
+  for (std::size_t I = 0; I != S.Layout.size(); ++I) {
+    ProgramSpec C = S;
+    C.Layout.erase(C.Layout.begin() + std::ptrdiff_t(I));
+    pushWithPickRetunes(Out, std::move(C));
+  }
+
+  // Bind the symbolic outer extent.
+  if (S.SymbolicOuter) {
+    ProgramSpec C = S;
+    C.SymbolicOuter = false;
+    pushWithPickRetunes(Out, std::move(C));
+  }
+
+  // Smaller extents: halve, then decrement.
+  for (std::size_t D = 0; D != S.Extents.size(); ++D) {
+    if (S.Extents[D] > 1) {
+      ProgramSpec H = S;
+      H.Extents[D] = (S.Extents[D] + 1) / 2;
+      pushWithPickRetunes(Out, std::move(H));
+      ProgramSpec M = S;
+      M.Extents[D] = S.Extents[D] - 1;
+      pushWithPickRetunes(Out, std::move(M));
+    }
+  }
+
+  // Smaller window / step / pads.
+  if (S.WinSize > 1) {
+    ProgramSpec C = S;
+    --C.WinSize;
+    C.WinStep = std::min(C.WinStep, C.WinSize);
+    pushWithPickRetunes(Out, std::move(C));
+  }
+  if (S.WinStep > 1) {
+    ProgramSpec C = S;
+    --C.WinStep;
+    pushWithPickRetunes(Out, std::move(C));
+  }
+  if (S.PadL > 0) {
+    ProgramSpec C = S;
+    --C.PadL;
+    pushWithPickRetunes(Out, std::move(C));
+  }
+  if (S.PadR > 0) {
+    ProgramSpec C = S;
+    --C.PadR;
+    pushWithPickRetunes(Out, std::move(C));
+  }
+  for (std::size_t I = 0; I != S.Layout.size(); ++I) {
+    if (S.Layout[I].K == LayoutOp::Kind::Pad && S.Layout[I].A > 0) {
+      ProgramSpec C = S;
+      --C.Layout[I].A;
+      pushWithPickRetunes(Out, std::move(C));
+    }
+    if (S.Layout[I].K == LayoutOp::Kind::Pad && S.Layout[I].B > 0) {
+      ProgramSpec C = S;
+      --C.Layout[I].B;
+      pushWithPickRetunes(Out, std::move(C));
+    }
+  }
+
+  // Simplify boundaries to clamp.
+  for (std::size_t D = 0; D != S.PerDimBdy.size(); ++D) {
+    if (S.PerDimBdy[D].K != Boundary::Kind::Clamp) {
+      ProgramSpec C = S;
+      C.PerDimBdy[D] = Boundary::clamp();
+      pushWithPickRetunes(Out, std::move(C));
+    }
+  }
+  for (std::size_t I = 0; I != S.Layout.size(); ++I) {
+    if (S.Layout[I].K == LayoutOp::Kind::Pad &&
+        S.Layout[I].Bdy.K != Boundary::Kind::Clamp) {
+      ProgramSpec C = S;
+      C.Layout[I].Bdy = Boundary::clamp();
+      pushWithPickRetunes(Out, std::move(C));
+    }
+  }
+
+  // Smaller rewrite-pick values (they index into the enumerated legal
+  // steps, so small values make the replayed choice obvious).
+  for (std::size_t I = 0; I != S.RewritePicks.size(); ++I) {
+    for (std::uint32_t V : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u}) {
+      if (V < S.RewritePicks[I]) {
+        ProgramSpec C = S;
+        C.RewritePicks[I] = V;
+        Out.push_back(C);
+      }
+    }
+  }
+
+  return Out;
+}
+
+} // namespace
+
+ProgramSpec lift::fuzz::shrinkSpec(const ProgramSpec &Failing,
+                                   const DiffOptions &O) {
+  ProgramSpec Best = Failing;
+  std::vector<std::int64_t> BestM = measure(Best);
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (const ProgramSpec &C : proposals(Best)) {
+      std::vector<std::int64_t> CM = measure(C);
+      if (!(CM < BestM))
+        continue;
+      if (runDifferential(C, O).Status != DiffStatus::Mismatch)
+        continue;
+      Best = C;
+      BestM = std::move(CM);
+      Progress = true;
+      break;
+    }
+  }
+  return Best;
+}

@@ -17,6 +17,12 @@ using namespace lift::interp;
 
 namespace {
 
+/// Raises a precondition failure as a recoverable error. Kept out of
+/// line so each call site reads as a one-line check.
+[[noreturn]] void evalError(const std::string &Msg) {
+  throw EvalError("interpreter: " + Msg);
+}
+
 class Evaluator {
 public:
   Evaluator(const SizeEnv &Sizes) : Sizes(Sizes) {}
@@ -28,12 +34,11 @@ public:
     case Expr::Kind::Param: {
       auto It = Env.find(static_cast<const ParamExpr *>(E.get()));
       if (It == Env.end())
-        fatalError("interpreter: unbound parameter " +
-                   dynCast<ParamExpr>(E)->getName());
+        evalError("unbound parameter " + dynCast<ParamExpr>(E)->getName());
       return It->second;
     }
     case Expr::Kind::Lambda:
-      fatalError("interpreter: lambda outside function position");
+      evalError("lambda outside function position");
     case Expr::Kind::Call:
       return evalCall(*dynCast<CallExpr>(E));
     }
@@ -135,8 +140,10 @@ private:
       for (const ExprPtr &A : C.getArgs())
         Ins.push_back(eval(A));
       std::size_t N = Ins.front().size();
-      for ([[maybe_unused]] const Value &In : Ins)
-        assert(In.size() == N && "zip length mismatch at runtime");
+      for (const Value &In : Ins)
+        if (In.size() != N)
+          evalError("zip length mismatch at runtime: " + std::to_string(N) +
+                    " vs " + std::to_string(In.size()));
       std::vector<Value> Out;
       Out.reserve(N);
       for (std::size_t I = 0; I != N; ++I) {
@@ -152,8 +159,10 @@ private:
     case Prim::Split: {
       Value In = eval(C.getArgs()[0]);
       std::int64_t M = evalSize(C.Factor);
-      assert(M > 0 && std::int64_t(In.size()) % M == 0 &&
-             "split factor must evenly divide the array length");
+      if (M <= 0 || std::int64_t(In.size()) % M != 0)
+        evalError("split factor " + std::to_string(M) +
+                  " must evenly divide the array length " +
+                  std::to_string(In.size()));
       std::vector<Value> Out;
       Out.reserve(In.size() / M);
       for (std::size_t I = 0; I < In.size(); I += M) {
@@ -176,8 +185,12 @@ private:
     case Prim::Transpose: {
       Value In = eval(C.getArgs()[0]);
       std::size_t N = In.size();
-      assert(N > 0 && "transpose of empty array");
+      if (N == 0)
+        evalError("transpose of empty array");
       std::size_t M = In[0].size();
+      for (const Value &Row : In.getElems())
+        if (Row.size() != M)
+          evalError("transpose of ragged array");
       std::vector<Value> Out;
       Out.reserve(M);
       for (std::size_t J = 0; J != M; ++J) {
@@ -194,10 +207,14 @@ private:
       Value In = eval(C.getArgs()[0]);
       std::int64_t Size = evalSize(C.Size);
       std::int64_t Step = evalSize(C.Step);
-      assert(Size > 0 && Step > 0 && "slide parameters must be positive");
+      if (Size <= 0 || Step <= 0)
+        evalError("slide parameters must be positive; got size " +
+                  std::to_string(Size) + ", step " + std::to_string(Step));
       std::int64_t N = std::int64_t(In.size());
       std::int64_t Count = floorDivInt(N - Size + Step, Step);
-      assert(Count >= 0 && "slide window larger than array");
+      if (Count < 0)
+        evalError("slide window of size " + std::to_string(Size) +
+                  " larger than array of length " + std::to_string(N));
       std::vector<Value> Out;
       Out.reserve(std::size_t(Count));
       for (std::int64_t W = 0; W != Count; ++W) {
@@ -214,8 +231,12 @@ private:
       Value In = eval(C.getArgs()[0]);
       std::int64_t L = evalSize(C.PadL);
       std::int64_t R = evalSize(C.PadR);
-      assert(L >= 0 && R >= 0 && "pad amounts must be non-negative");
+      if (L < 0 || R < 0)
+        evalError("pad amounts must be non-negative; got " +
+                  std::to_string(L) + ", " + std::to_string(R));
       std::int64_t N = std::int64_t(In.size());
+      if (N == 0 && (L > 0 || R > 0))
+        evalError("pad of empty array has no boundary values");
       std::vector<Value> Out;
       Out.reserve(std::size_t(L + N + R));
       for (std::int64_t I = -L; I != N + R; ++I) {
@@ -226,7 +247,6 @@ private:
         if (C.Bdy.K == Boundary::Kind::Constant) {
           // Fill a whole element (possibly a nested array) with the
           // constant, using the first real element as the shape proto.
-          assert(N > 0 && "constant pad of empty array");
           Out.push_back(fillLike(In[0], C.Bdy.ConstVal));
           continue;
         }
@@ -237,13 +257,20 @@ private:
 
     case Prim::At: {
       Value In = eval(C.getArgs()[0]);
-      assert(std::size_t(C.Index) < In.size() && "at index out of bounds");
+      if (C.Index < 0 || std::size_t(C.Index) >= In.size())
+        evalError("at index " + std::to_string(C.Index) +
+                  " out of bounds for length " + std::to_string(In.size()));
       return In[std::size_t(C.Index)];
     }
 
     case Prim::Get: {
       Value In = eval(C.getArgs()[0]);
-      assert(In.isTuple() && "get on non-tuple");
+      if (!In.isTuple())
+        evalError("get on non-tuple");
+      if (C.Index < 0 || std::size_t(C.Index) >= In.size())
+        evalError("get index " + std::to_string(C.Index) +
+                  " out of bounds for tuple of size " +
+                  std::to_string(In.size()));
       return In[std::size_t(C.Index)];
     }
 
@@ -308,9 +335,24 @@ Value lift::interp::evalProgram(const Program &P,
   if (!P->getType())
     inferTypes(P);
   if (Inputs.size() != P->getParams().size())
-    fatalError("evalProgram: input count mismatch");
+    evalError("input count mismatch: got " + std::to_string(Inputs.size()) +
+              " for " + std::to_string(P->getParams().size()) +
+              " parameters");
   Evaluator Ev(Sizes);
   for (std::size_t I = 0, E = Inputs.size(); I != E; ++I)
     Ev.bind(P->getParams()[I].get(), Inputs[I]);
   return Ev.eval(P->getBody());
+}
+
+std::optional<Value> lift::interp::tryEvalProgram(const Program &P,
+                                                  const std::vector<Value> &Inputs,
+                                                  const SizeEnv &Sizes,
+                                                  std::string *Err) {
+  try {
+    return evalProgram(P, Inputs, Sizes);
+  } catch (const RecoverableError &E) {
+    if (Err)
+      *Err = E.what();
+    return std::nullopt;
+  }
 }

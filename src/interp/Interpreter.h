@@ -20,7 +20,9 @@
 
 #include "interp/Value.h"
 #include "ir/Expr.h"
+#include "support/Support.h"
 
+#include <optional>
 #include <unordered_map>
 
 namespace lift {
@@ -30,11 +32,31 @@ namespace interp {
 /// ArithExpr variable id.
 using SizeEnv = std::unordered_map<unsigned, std::int64_t>;
 
+/// Thrown when a program violates a runtime precondition the type
+/// system cannot express (split divisibility, zip length agreement,
+/// slide window fit, negative pad amounts, out-of-bounds at, ...).
+/// These used to be asserts, which vanish under NDEBUG and let Release
+/// builds run malformed programs into UB; throwing keeps the check in
+/// every build and lets generative tooling discard the program.
+class EvalError : public RecoverableError {
+public:
+  using RecoverableError::RecoverableError;
+};
+
 /// Evaluates program \p P on \p Inputs (one value per program
 /// parameter). \p Sizes binds every size variable appearing in the
-/// input types. Runs type inference if \p P has no types yet.
+/// input types. Runs type inference if \p P has no types yet. Throws
+/// EvalError (or ir::TypeError from inference) on malformed programs.
 Value evalProgram(const ir::Program &P, const std::vector<Value> &Inputs,
                   const SizeEnv &Sizes);
+
+/// Non-throwing wrapper: returns nullopt when \p P is ill-typed or
+/// violates an evaluation precondition, storing the diagnostic in
+/// \p Err when non-null.
+std::optional<Value> tryEvalProgram(const ir::Program &P,
+                                    const std::vector<Value> &Inputs,
+                                    const SizeEnv &Sizes,
+                                    std::string *Err = nullptr);
 
 } // namespace interp
 } // namespace lift

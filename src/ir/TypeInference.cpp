@@ -35,7 +35,7 @@ private:
   std::unordered_map<const ParamExpr *, TypePtr> Env;
 
   [[noreturn]] void typeError(const std::string &Msg, const ExprPtr &E) {
-    fatalError("type error: " + Msg + " in: " + toString(E));
+    throw TypeError("type error: " + Msg + " in: " + toString(E));
   }
 
   /// Binds \p L's parameters to \p ArgTypes and infers the body type.
@@ -55,8 +55,8 @@ private:
   LambdaPtr lambdaArg(const CallExpr *C, std::size_t I) {
     ExprPtr A = C->getArgs()[I];
     if (A->getKind() != Expr::Kind::Lambda)
-      fatalError("expected lambda argument in " +
-                 std::string(primName(C->getPrim())));
+      throw TypeError("type error: expected lambda argument in " +
+                      std::string(primName(C->getPrim())));
     return std::static_pointer_cast<LambdaExpr>(A);
   }
 
@@ -233,4 +233,14 @@ private:
 TypePtr lift::ir::inferTypes(const Program &P) {
   Inferer I;
   return I.inferProgram(P);
+}
+
+TypePtr lift::ir::tryInferTypes(const Program &P, std::string *Err) {
+  try {
+    return inferTypes(P);
+  } catch (const TypeError &E) {
+    if (Err)
+      *Err = E.what();
+    return nullptr;
+  }
 }

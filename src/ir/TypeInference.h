@@ -10,8 +10,9 @@
 /// e.g. slide(size, step) maps [T]n to [[T]size]{(n-size+step)/step}
 /// (paper §3.2) and pad(l, r) maps [T]n to [T]{l+n+r}. Ill-typed
 /// programs (mismatched zip lengths, wrong userFun arity, non-invariant
-/// iterate bodies, ...) are fatal errors: they indicate bugs in builders
-/// or rewrite rules, never valid user input.
+/// iterate bodies, ...) throw TypeError: handwritten pipelines treat
+/// that as a bug, while generative tooling (the differential fuzzer,
+/// exploration) catches it via tryInferTypes and discards the program.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,14 +20,26 @@
 #define LIFT_IR_TYPEINFERENCE_H
 
 #include "ir/Expr.h"
+#include "support/Support.h"
 
 namespace lift {
 namespace ir {
 
+/// Thrown when a program fails to type-check. The message names the
+/// violated rule and pretty-prints the offending expression.
+class TypeError : public RecoverableError {
+public:
+  using RecoverableError::RecoverableError;
+};
+
 /// Infers and stores the type of every node in \p P. The program's
 /// parameters must carry declared types. Returns the program result
-/// type.
+/// type. Throws TypeError on ill-typed programs.
 TypePtr inferTypes(const Program &P);
+
+/// Non-throwing wrapper around inferTypes: returns nullptr on a type
+/// error and, when \p Err is non-null, stores the diagnostic there.
+TypePtr tryInferTypes(const Program &P, std::string *Err = nullptr);
 
 } // namespace ir
 } // namespace lift

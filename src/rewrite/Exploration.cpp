@@ -80,6 +80,54 @@ ExprPtr lift::rewrite::applyAtOccurrence(const Rule &R, const ExprPtr &E,
   return New;
 }
 
+std::vector<ApplicableRewrite>
+lift::rewrite::enumerateApplicableRewrites(const Program &P,
+                                           const std::vector<Rule> &Rules) {
+  // The original result type is the preservation contract: a rewrite
+  // that changes it (or breaks typing altogether) is not legal here,
+  // even if the rule matched syntactically.
+  Program Reference = cloneProgram(P);
+  TypePtr WantedT = tryInferTypes(Reference);
+  if (!WantedT)
+    return {};
+
+  std::vector<ApplicableRewrite> Out;
+  for (std::size_t RI = 0, RN = Rules.size(); RI != RN; ++RI) {
+    int Matches = countMatches(Rules[RI], Reference->getBody());
+    for (int Occ = 0; Occ != Matches; ++Occ) {
+      ExprPtr NewBody =
+          applyAtOccurrence(Rules[RI], Reference->getBody(), Occ);
+      if (!NewBody)
+        continue;
+      Program Candidate =
+          cloneProgram(makeProgram(Reference->getParams(), NewBody));
+      TypePtr GotT = tryInferTypes(Candidate);
+      if (!GotT || !typeEquals(GotT, WantedT))
+        continue;
+      Out.push_back(ApplicableRewrite{RI, Occ});
+    }
+  }
+  return Out;
+}
+
+Program lift::rewrite::applyRewrite(const Program &P,
+                                    const std::vector<Rule> &Rules,
+                                    const ApplicableRewrite &Step) {
+  if (Step.RuleIndex >= Rules.size())
+    fatalError("applyRewrite: rule index out of range");
+  Program Copy = cloneProgram(P);
+  inferTypes(Copy);
+  ExprPtr NewBody =
+      applyAtOccurrence(Rules[Step.RuleIndex], Copy->getBody(),
+                        Step.Occurrence);
+  if (!NewBody)
+    fatalError("applyRewrite: step does not apply to this program");
+  Program Result =
+      cloneProgram(makeProgram(Copy->getParams(), NewBody));
+  inferTypes(Result);
+  return Result;
+}
+
 std::vector<Rule> lift::rewrite::stencilExplorationRules() {
   std::vector<Rule> Rules;
   Rules.push_back(mapFusionRule());
@@ -164,8 +212,11 @@ std::vector<Derivation> lift::rewrite::explore(const Program &Start,
         // Clone so derivations never share mutable type state.
         Candidate = cloneProgram(Candidate);
         // Types let rules check static validity constraints (e.g. the
-        // tiling rule's exact-fit requirement on constant lengths).
-        inferTypes(Candidate);
+        // tiling rule's exact-fit requirement on constant lengths). A
+        // rule that fired on a shape it cannot legally transform
+        // produces an ill-typed candidate; drop it instead of dying.
+        if (!tryInferTypes(Candidate))
+          continue;
         Seen.insert(Candidate);
         std::vector<std::string> Applied = Item.Applied;
         Applied.push_back(R.Name);

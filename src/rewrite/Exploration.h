@@ -71,6 +71,30 @@ std::vector<Rule> stencilExplorationRules();
 ir::ExprPtr applyAtOccurrence(const Rule &R, const ir::ExprPtr &E,
                               int Occurrence);
 
+/// One legal rewrite step on a specific program: rule \p RuleIndex of
+/// a rule set applied at pre-order match position \p Occurrence.
+struct ApplicableRewrite {
+  std::size_t RuleIndex;
+  int Occurrence;
+};
+
+/// Enumerates every (rule, occurrence) pair of \p Rules that applies
+/// to \p P and yields a well-typed program of the *same result type* —
+/// candidates whose rewritten body fails type inference (a rule fired
+/// on a shape it cannot legally transform) or changes the program type
+/// are filtered out. The order is deterministic: by rule index, then
+/// occurrence. This is the fuzzer's source of random-but-legal rewrite
+/// sequences.
+std::vector<ApplicableRewrite>
+enumerateApplicableRewrites(const ir::Program &P,
+                            const std::vector<Rule> &Rules);
+
+/// Applies one enumerated step, returning a fresh type-checked program
+/// (the input is never mutated). Fatal if \p Step does not come from
+/// enumerateApplicableRewrites on this same program and rule set.
+ir::Program applyRewrite(const ir::Program &P, const std::vector<Rule> &Rules,
+                         const ApplicableRewrite &Step);
+
 } // namespace rewrite
 } // namespace lift
 

@@ -206,9 +206,18 @@ ExprPtr lowerEmbeddedNests(const ExprPtr &E) {
   return rebuildCallArgs(*C, std::move(NewArgs));
 }
 
+/// Records \p Reason for the caller (when requested) and returns the
+/// null program, so every bail-out site carries a diagnostic.
+Program lowerFail(std::string *WhyNot, const std::string &Reason) {
+  if (WhyNot)
+    *WhyNot = Reason;
+  return nullptr;
+}
+
 /// The actual lowering; the public entry point wraps it with a trace
 /// span and success/failure counters.
-Program lowerStencilImpl(const Program &P, const LoweringOptions &O) {
+Program lowerStencilImpl(const Program &P, const LoweringOptions &O,
+                         std::string *WhyNot) {
   Program Copy = cloneProgram(P);
 
   // Expand any iterate into repeated application first.
@@ -216,8 +225,11 @@ Program lowerStencilImpl(const Program &P, const LoweringOptions &O) {
   ExprPtr Body = applyEverywhere(iterateExpandRule(), Copy->getBody(), Dummy);
 
   std::optional<MapNdMatch> M = matchMapNd(Body);
-  if (!M || M->Dims > 3)
-    return nullptr;
+  if (!M)
+    return lowerFail(WhyNot, "program is not a mapNd nest over its input");
+  if (M->Dims > 3)
+    return lowerFail(WhyNot, "mapNd nests beyond 3 dimensions are unsupported (got " +
+                                 std::to_string(M->Dims) + ")");
   unsigned N = M->Dims;
 
   // Inner stencil phases (from iterate expansion or explicit chains)
@@ -231,7 +243,8 @@ Program lowerStencilImpl(const Program &P, const LoweringOptions &O) {
     // Single-grid shape: mapNd(f, slideNd(size, step, inner)).
     if (std::optional<SlideNdMatch> S = matchSlideNd(M->Input)) {
       if (S->Dims != N)
-        return nullptr;
+        return lowerFail(WhyNot,
+                         "slideNd dimensionality does not match the mapNd nest");
       // Tile extent u = v + (size - step), the §4.1 validity constraint.
       AExpr U = add(V, sub(S->Size, S->Step));
       ExprPtr Tiles = slideNd(N, U, V, S->Inner);
@@ -260,10 +273,17 @@ Program lowerStencilImpl(const Program &P, const LoweringOptions &O) {
       for (const ExprPtr &Comp : Z->Comps) {
         if (std::optional<SlideNdMatch> CS = matchSlideNd(Comp)) {
           if (CS->Dims != N)
-            return nullptr;
+            return lowerFail(
+                WhyNot, "zip component slideNd dimensionality does not match "
+                        "the mapNd nest");
           if (SizeE && (!exprEquals(SizeE, CS->Size) ||
                         !exprEquals(StepE, CS->Step)))
-            return nullptr; // mixed window geometries are unsupported
+            return lowerFail(
+                WhyNot,
+                "mixed window geometries are unsupported: slide(" +
+                    SizeE->toString() + ", " + StepE->toString() +
+                    ") vs slide(" + CS->Size->toString() + ", " +
+                    CS->Step->toString() + ")");
           SizeE = CS->Size;
           StepE = CS->Step;
           AExpr U = add(V, sub(CS->Size, CS->Step));
@@ -275,7 +295,9 @@ Program lowerStencilImpl(const Program &P, const LoweringOptions &O) {
         IsSlided.push_back(false);
       }
       if (!SizeE)
-        return nullptr; // no neighborhood anywhere: nothing to tile
+        return lowerFail(WhyNot,
+                         "tiling requested but no zip component is a slideNd "
+                         "neighborhood: nothing to tile");
 
       LambdaPtr F = M->F;
       bool Local = O.UseLocalMem;
@@ -298,7 +320,9 @@ Program lowerStencilImpl(const Program &P, const LoweringOptions &O) {
           N, buildMapNest(N, Prim::MapWrg, PerTile,
                           lift::stencil::zipNd(N, std::move(TiledComps))));
     } else {
-      return nullptr;
+      return lowerFail(WhyNot,
+                       "tiling requested but the input is neither a slideNd "
+                       "neighborhood nor a zipNd of grids");
     }
   } else {
     Lowered = buildGlbNest(N, M->F, M->Input, O.Coarsen);
@@ -324,11 +348,11 @@ Program lowerStencilImpl(const Program &P, const LoweringOptions &O) {
 
 } // namespace
 
-Program lift::rewrite::lowerStencil(const Program &P,
-                                    const LoweringOptions &O) {
+Program lift::rewrite::lowerStencil(const Program &P, const LoweringOptions &O,
+                                    std::string *WhyNot) {
   obs::Span LowerSpan("lower", "rewrite");
   LowerSpan.arg("variant", O.describe());
-  Program Result = lowerStencilImpl(P, O);
+  Program Result = lowerStencilImpl(P, O, WhyNot);
   obs::Registry &Reg = obs::Registry::global();
   if (Result)
     Reg.counter("rewrite.lowerings").inc();

@@ -56,8 +56,12 @@ struct LoweringOptions {
 /// Lowers a canonical stencil program (a mapNd nest, optionally over
 /// slideNd/zip structures) into a low-level program per \p O. Returns
 /// nullptr when the options do not apply to this program's shape
-/// (e.g. tiling requested but no slideNd at the top).
-ir::Program lowerStencil(const ir::Program &P, const LoweringOptions &O);
+/// (e.g. tiling requested but no slideNd at the top, or zip components
+/// with mixed window geometries); in that case \p WhyNot — when
+/// non-null — receives a human-readable reason callers must surface
+/// instead of dereferencing the null program.
+ir::Program lowerStencil(const ir::Program &P, const LoweringOptions &O,
+                         std::string *WhyNot = nullptr);
 
 } // namespace rewrite
 } // namespace lift

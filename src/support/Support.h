@@ -18,9 +18,22 @@
 #include <cstdint>
 #include <cstdlib>
 #include <random>
+#include <stdexcept>
 #include <string>
 
 namespace lift {
+
+/// Base class for errors a caller may legitimately want to catch and
+/// recover from: malformed programs fed to the type checker or the
+/// interpreter by generative tooling (fuzzers, search). Invariant
+/// violations that indicate compiler bugs keep going through
+/// fatalError; precondition violations on *input* programs throw a
+/// subclass of this instead, so Release builds fail cleanly rather
+/// than running into UB once asserts vanish under NDEBUG.
+class RecoverableError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Reports an unrecoverable usage or internal error and terminates.
 ///

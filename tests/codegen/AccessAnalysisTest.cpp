@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 using namespace lift;
 using namespace lift::ir;
 using namespace lift::ocl;
@@ -23,6 +25,16 @@ namespace {
 
 AExpr sizeVar(const char *Name) { return var(Name, Range(1, 1 << 30)); }
 
+/// Lowers and fails the test (instead of passing nullptr into
+/// compileProgram) when the options do not apply.
+ir::Program lowerOrFail(const ir::Program &P, const LoweringOptions &O) {
+  std::string WhyNot;
+  ir::Program Low = lowerStencil(P, O, &WhyNot);
+  if (!Low)
+    throw std::runtime_error("lowering failed: " + WhyNot);
+  return Low;
+}
+
 TEST(AccessAnalysis, RowMajorStencilIsCoalesced) {
   // The code generator assigns the innermost array dimension to
   // get_global_id(0); all loads/stores of a 2D stencil must be
@@ -30,7 +42,7 @@ TEST(AccessAnalysis, RowMajorStencilIsCoalesced) {
   const Benchmark &B = findBenchmark("Jacobi2D5pt");
   BenchmarkInstance I = B.Build();
   LoweringOptions O;
-  Compiled C = compileProgram(lowerStencil(I.P, O), "j2d");
+  Compiled C = compileProgram(lowerOrFail(I.P, O), "j2d");
   AccessReport R = analyzeAccesses(C.K, makeSizeEnv(I, {64, 64}));
   ASSERT_FALSE(R.Sites.empty());
   EXPECT_TRUE(R.fullyCoalesced());
@@ -103,7 +115,7 @@ TEST(AccessAnalysis, TiledLocalKernelKeepsGlobalTrafficCoalesced) {
   O.Tile = true;
   O.TileOutputs = 8;
   O.UseLocalMem = true;
-  Compiled C = compileProgram(lowerStencil(I.P, O), "j2dtl");
+  Compiled C = compileProgram(lowerOrFail(I.P, O), "j2dtl");
   AccessReport R = analyzeAccesses(C.K, makeSizeEnv(I, {64, 64}));
   ASSERT_FALSE(R.Sites.empty());
   EXPECT_TRUE(R.fullyCoalesced()) << "tiled kernels must stage and store "
@@ -118,7 +130,7 @@ TEST(AccessAnalysis, CoarsenedChunksAreStridedPerLane) {
   BenchmarkInstance I = B.Build();
   LoweringOptions O;
   O.Coarsen = 4;
-  Compiled C = compileProgram(lowerStencil(I.P, O), "j2dc");
+  Compiled C = compileProgram(lowerOrFail(I.P, O), "j2dc");
   AccessReport R = analyzeAccesses(C.K, makeSizeEnv(I, {64, 64}));
   EXPECT_FALSE(R.fullyCoalesced());
   bool Found4 = false;

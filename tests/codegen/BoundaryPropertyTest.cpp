@@ -1,0 +1,179 @@
+//===- BoundaryPropertyTest.cpp - Symbolic vs concrete boundaries ---------===//
+//
+// Part of the liftcpp project.
+//
+// Exhaustive agreement sweep between the symbolic boundary index
+// formula the view system emits (codegen::boundaryIndexExpr) and the
+// concrete resolver shared by the interpreter and the simulator
+// (ir::resolveBoundaryIndex), for every reindexing boundary kind over
+// negative and overshooting indices — the floorMod/floorDiv sign
+// convention edges. Also locks down the degenerate compositions the
+// formulas must survive end to end: nested constant pads with distinct
+// values, pad(0, 0), and slide(n, n).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Runner.h"
+#include "codegen/View.h"
+#include "interp/Interpreter.h"
+#include "ir/TypeInference.h"
+#include "rewrite/Lowering.h"
+#include "stencil/StencilOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::interp;
+using namespace lift::stencil;
+using namespace lift::codegen;
+
+namespace {
+
+const Boundary::Kind ReindexKinds[] = {
+    Boundary::Kind::Clamp, Boundary::Kind::Mirror, Boundary::Kind::Wrap};
+
+/// Evaluates the symbolic formula built over *variables*, exercising
+/// whatever simplification the arith layer performs on the general
+/// (unknown-sign) form, then substituting concrete values.
+std::int64_t evalSymbolicVar(Boundary::Kind K, std::int64_t I,
+                             std::int64_t N) {
+  // The index variable must admit negative values so the simplifier
+  // cannot assume a sign; the length is at least 1.
+  AExpr IV = var("i", Range(-1024, 1024));
+  AExpr NV = var("n", Range(1, 1024));
+  AExpr F = boundaryIndexExpr(K, IV, NV);
+  return F->evaluate({{IV->getVarId(), I}, {NV->getVarId(), N}});
+}
+
+/// Evaluates the symbolic formula built over *constants*, exercising
+/// the constant-folding path: the formula must fold to the same value.
+std::int64_t evalSymbolicCst(Boundary::Kind K, std::int64_t I,
+                             std::int64_t N) {
+  AExpr F = boundaryIndexExpr(K, cst(I), cst(N));
+  EXPECT_EQ(F->getKind(), ArithExpr::Kind::Cst)
+      << "formula over constants did not fold: " << F->toString();
+  return F->evaluate({});
+}
+
+TEST(BoundaryProperty, SymbolicAgreesWithConcreteExhaustively) {
+  // Every length up to 8 and every index overshooting by up to 4
+  // array-lengths on both sides; 4N covers multiple mirror periods
+  // (period 2N) and wrap periods (period N).
+  for (Boundary::Kind K : ReindexKinds) {
+    for (std::int64_t N = 1; N <= 8; ++N) {
+      for (std::int64_t I = -4 * N; I <= 4 * N; ++I) {
+        std::int64_t Expected = resolveBoundaryIndex(K, I, N);
+        ASSERT_GE(Expected, 0);
+        ASSERT_LT(Expected, N);
+        ASSERT_EQ(evalSymbolicVar(K, I, N), Expected)
+            << "kind " << int(K) << " I=" << I << " N=" << N;
+        ASSERT_EQ(evalSymbolicCst(K, I, N), Expected)
+            << "kind " << int(K) << " I=" << I << " N=" << N;
+      }
+    }
+  }
+}
+
+TEST(BoundaryProperty, MirrorIsEdgeDuplicatingReflection) {
+  // Spot-check the convention: mirror of [a b c] extends as
+  // ... c b a | a b c | c b a ... (the edge element repeats).
+  EXPECT_EQ(resolveBoundaryIndex(Boundary::Kind::Mirror, -1, 3), 0);
+  EXPECT_EQ(resolveBoundaryIndex(Boundary::Kind::Mirror, -2, 3), 1);
+  EXPECT_EQ(resolveBoundaryIndex(Boundary::Kind::Mirror, 3, 3), 2);
+  EXPECT_EQ(resolveBoundaryIndex(Boundary::Kind::Mirror, 4, 3), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end degenerate compositions: interpreter vs generated code.
+//===----------------------------------------------------------------------===//
+
+AExpr sizeVar(const char *Name) { return var(Name, Range(1, 1 << 30)); }
+
+/// Interprets \p P and runs its untiled lowering on the simulator;
+/// both must produce bit-identical floats.
+void expectInterpMatchesSim(const Program &P, const std::vector<float> &In,
+                            std::int64_t N, unsigned VarId) {
+  ocl::SizeEnv Sizes{{VarId, N}};
+  Value Expected = evalProgram(P, {makeFloatArray(In)}, Sizes);
+  std::vector<float> ExpectedFlat;
+  flattenValue(Expected, ExpectedFlat);
+
+  std::string WhyNot;
+  Program Low = rewrite::lowerStencil(P, rewrite::LoweringOptions(), &WhyNot);
+  ASSERT_NE(Low, nullptr) << WhyNot;
+  RunResult R = runOnSim(Low, {In}, Sizes);
+  ASSERT_EQ(R.Output.size(), ExpectedFlat.size());
+  for (std::size_t I = 0; I != ExpectedFlat.size(); ++I)
+    ASSERT_EQ(R.Output[I], ExpectedFlat[I]) << "element " << I;
+}
+
+/// map(sum-of-window, slide(3, 1, <layout>)) over a length-n input.
+Program sumStencilOver(ExprPtr Layout, const ParamPtr &A) {
+  LambdaPtr SumNbh = lam("nbh", [](ExprPtr Nbh) {
+    return theOne(reduce(etaLambda(ufAddFloat()), lit(0.0f), Nbh));
+  });
+  return makeProgram({A}, map(SumNbh, slide(cst(3), cst(1),
+                                            std::move(Layout))));
+}
+
+std::vector<float> ramp(std::size_t N) {
+  std::vector<float> V(N);
+  for (std::size_t I = 0; I != N; ++I)
+    V[I] = float(I + 1) * 0.5f;
+  return V;
+}
+
+TEST(BoundaryProperty, NestedConstantPadsWithDistinctValues) {
+  // pad(1,1,Constant(5), pad(1,1,Constant(9), A)): the outer constant
+  // must win in the outermost halo and the inner constant just inside
+  // it — each guard carries its own fill value.
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = sumStencilOver(
+      pad(cst(1), cst(1), Boundary::constant(5.0f),
+          pad(cst(1), cst(1), Boundary::constant(9.0f), A)),
+      A);
+  expectInterpMatchesSim(P, ramp(6), 6, N->getVarId());
+}
+
+TEST(BoundaryProperty, NestedConstantInsideReindexingPad) {
+  // A reindexing pad wrapped around a constant pad: the mirror indices
+  // must resolve relative to the constant-extended array.
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = sumStencilOver(
+      pad(cst(2), cst(2), Boundary::mirror(),
+          pad(cst(1), cst(1), Boundary::constant(3.0f), A)),
+      A);
+  expectInterpMatchesSim(P, ramp(5), 5, N->getVarId());
+}
+
+TEST(BoundaryProperty, DegeneratePadZeroZero) {
+  // pad(0,0) of any kind is the identity; the view system must not
+  // emit guards or reindexing for it.
+  AExpr N = sizeVar("n");
+  for (Boundary B : {Boundary::clamp(), Boundary::mirror(), Boundary::wrap(),
+                     Boundary::constant(7.0f)}) {
+    ParamPtr A = param("A", arrayT(floatT(), N));
+    Program P = sumStencilOver(pad(cst(0), cst(0), B, A), A);
+    expectInterpMatchesSim(P, ramp(6), 6, N->getVarId());
+  }
+}
+
+TEST(BoundaryProperty, DegenerateSlideNbyN) {
+  // slide(n, n) produces adjacent, non-overlapping windows (= split);
+  // with a wrap pad in front this exercises window starts landing
+  // exactly on the boundary seams.
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  LambdaPtr SumNbh = lam("nbh", [](ExprPtr Nbh) {
+    return theOne(reduce(etaLambda(ufAddFloat()), lit(0.0f), Nbh));
+  });
+  Program P = makeProgram(
+      {A}, map(SumNbh, slide(cst(2), cst(2),
+                             pad(cst(1), cst(1), Boundary::wrap(), A))));
+  expectInterpMatchesSim(P, ramp(6), 6, N->getVarId());
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- InterpErrorsTest.cpp - Recoverable interpreter errors --------------===//
+//
+// Part of the liftcpp project.
+//
+// Runtime precondition violations the type system cannot express
+// (split divisibility, zip length agreement at runtime, slide window
+// fit, ...) must surface as interp::EvalError in every build mode —
+// they used to be asserts, which vanish under NDEBUG and let Release
+// builds run malformed programs into undefined behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/TypeInference.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::interp;
+
+namespace {
+
+AExpr sizeVar(const char *Name) { return var(Name, Range(1, 1 << 30)); }
+
+TEST(InterpErrors, SplitNonDivisorIsRecoverable) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram({A}, split(cst(3), A));
+  // n = 7 is not divisible by 3; the type [[f]3]{7/3} is well-formed
+  // symbolically, so only evaluation can catch it.
+  SizeEnv Sizes{{N->getVarId(), 7}};
+  std::string Err;
+  auto R = tryEvalProgram(P, {makeFloatArray({1, 2, 3, 4, 5, 6, 7})}, Sizes,
+                          &Err);
+  EXPECT_FALSE(R.has_value());
+  EXPECT_NE(Err.find("split factor"), std::string::npos) << Err;
+}
+
+TEST(InterpErrors, ZipRuntimeLengthMismatchIsRecoverable) {
+  AExpr N = sizeVar("n");
+  // Both inputs claim length n, so zip type-checks; binding inputs of
+  // different actual lengths is only detectable at runtime.
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  ParamPtr B = param("B", arrayT(floatT(), N));
+  Program P = makeProgram({A, B}, zip(A, B));
+  SizeEnv Sizes{{N->getVarId(), 3}};
+  std::string Err;
+  auto R = tryEvalProgram(P, {makeFloatArray({1, 2, 3}), makeFloatArray({1, 2})},
+                          Sizes, &Err);
+  EXPECT_FALSE(R.has_value());
+  EXPECT_NE(Err.find("zip length mismatch"), std::string::npos) << Err;
+}
+
+TEST(InterpErrors, SlideWindowLargerThanArrayIsRecoverable) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram({A}, slide(cst(5), cst(1), A));
+  SizeEnv Sizes{{N->getVarId(), 2}};
+  std::string Err;
+  auto R = tryEvalProgram(P, {makeFloatArray({1, 2})}, Sizes, &Err);
+  EXPECT_FALSE(R.has_value());
+  EXPECT_NE(Err.find("slide window"), std::string::npos) << Err;
+}
+
+TEST(InterpErrors, InputCountMismatchIsRecoverable) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram({A}, map(etaLambda(ufIdFloat()), A));
+  SizeEnv Sizes{{N->getVarId(), 2}};
+  std::string Err;
+  auto R = tryEvalProgram(P, {}, Sizes, &Err);
+  EXPECT_FALSE(R.has_value());
+  EXPECT_NE(Err.find("input count mismatch"), std::string::npos) << Err;
+}
+
+TEST(InterpErrors, IllTypedProgramIsRecoverableViaTryEval) {
+  AExpr N = sizeVar("n");
+  AExpr M = sizeVar("m");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  ParamPtr B = param("B", arrayT(floatT(), M));
+  Program P = makeProgram({A, B}, zip(A, B));
+  SizeEnv Sizes{{N->getVarId(), 2}, {M->getVarId(), 3}};
+  std::string Err;
+  auto R = tryEvalProgram(P, {makeFloatArray({1, 2}), makeFloatArray({1, 2, 3})},
+                          Sizes, &Err);
+  EXPECT_FALSE(R.has_value());
+  EXPECT_NE(Err.find("zip of arrays with different lengths"),
+            std::string::npos)
+      << Err;
+}
+
+TEST(InterpErrors, ValidProgramStillEvaluates) {
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  Program P = makeProgram({A}, split(cst(2), A));
+  SizeEnv Sizes{{N->getVarId(), 4}};
+  auto R = tryEvalProgram(P, {makeFloatArray({1, 2, 3, 4})}, Sizes);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->size(), 2u);
+}
+
+} // namespace

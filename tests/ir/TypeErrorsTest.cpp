@@ -2,8 +2,9 @@
 //
 // Part of the liftcpp project.
 //
-// Death tests: every class of type error must be reported (fatal)
-// rather than silently producing wrong code.
+// Every class of type error must be reported as a recoverable
+// TypeError (with a diagnostic naming the violated rule) rather than
+// silently producing wrong code or aborting the process.
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,7 +25,18 @@ TEST(TypeErrors, ZipLengthMismatch) {
   ParamPtr A = param("A", arrayT(floatT(), N));
   ParamPtr B = param("B", arrayT(floatT(), M));
   Program P = makeProgram({A, B}, zip(A, B));
-  EXPECT_DEATH(inferTypes(P), "zip of arrays with different lengths");
+  EXPECT_THROW(
+      {
+        try {
+          inferTypes(P);
+        } catch (const TypeError &E) {
+          EXPECT_NE(std::string(E.what()).find("zip of arrays with different lengths"),
+                    std::string::npos)
+              << E.what();
+          throw;
+        }
+      },
+      TypeError);
 }
 
 TEST(TypeErrors, UserFunArityMismatch) {
@@ -37,14 +49,36 @@ TEST(TypeErrors, UserFunArityMismatch) {
                                       std::vector<ExprPtr>{X});
   C->UF = ufAddFloat();
   Program P = makeProgram({A}, map(lambda({X}, C), A));
-  EXPECT_DEATH(inferTypes(P), "userFun arity mismatch");
+  EXPECT_THROW(
+      {
+        try {
+          inferTypes(P);
+        } catch (const TypeError &E) {
+          EXPECT_NE(std::string(E.what()).find("userFun arity mismatch"),
+                    std::string::npos)
+              << E.what();
+          throw;
+        }
+      },
+      TypeError);
 }
 
 TEST(TypeErrors, UserFunArgumentKindMismatch) {
   AExpr N = sizeVar("n");
   ParamPtr A = param("A", arrayT(intT(), N)); // ints into a float fun
   Program P = makeProgram({A}, map(etaLambda(ufIdFloat()), A));
-  EXPECT_DEATH(inferTypes(P), "userFun argument");
+  EXPECT_THROW(
+      {
+        try {
+          inferTypes(P);
+        } catch (const TypeError &E) {
+          EXPECT_NE(std::string(E.what()).find("userFun argument"),
+                    std::string::npos)
+              << E.what();
+          throw;
+        }
+      },
+      TypeError);
 }
 
 TEST(TypeErrors, ReduceAccumulatorTypeDrift) {
@@ -56,26 +90,70 @@ TEST(TypeErrors, ReduceAccumulatorTypeDrift) {
       ScalarKind::Int, "return 1;",
       [](const std::vector<Scalar> &) { return Scalar(std::int32_t(1)); });
   Program P = makeProgram({A}, reduce(etaLambda(Bad), lit(0.0f), A));
-  EXPECT_DEATH(inferTypes(P), "reduction operator must preserve");
+  EXPECT_THROW(
+      {
+        try {
+          inferTypes(P);
+        } catch (const TypeError &E) {
+          EXPECT_NE(std::string(E.what()).find("reduction operator must preserve"),
+                    std::string::npos)
+              << E.what();
+          throw;
+        }
+      },
+      TypeError);
 }
 
 TEST(TypeErrors, ConstantIndexOutOfBounds) {
   ParamPtr A = param("A", arrayT(floatT(), cst(3)));
   Program P = makeProgram({A}, at(5, A));
-  EXPECT_DEATH(inferTypes(P), "constant index out of bounds");
+  EXPECT_THROW(
+      {
+        try {
+          inferTypes(P);
+        } catch (const TypeError &E) {
+          EXPECT_NE(std::string(E.what()).find("constant index out of bounds"),
+                    std::string::npos)
+              << E.what();
+          throw;
+        }
+      },
+      TypeError);
 }
 
 TEST(TypeErrors, GetOnNonTuple) {
   AExpr N = sizeVar("n");
   ParamPtr A = param("A", arrayT(floatT(), N));
   Program P = makeProgram({A}, get(0, A));
-  EXPECT_DEATH(inferTypes(P), "get on non-tuple");
+  EXPECT_THROW(
+      {
+        try {
+          inferTypes(P);
+        } catch (const TypeError &E) {
+          EXPECT_NE(std::string(E.what()).find("get on non-tuple"),
+                    std::string::npos)
+              << E.what();
+          throw;
+        }
+      },
+      TypeError);
 }
 
 TEST(TypeErrors, MapOverScalar) {
   ParamPtr A = param("A", floatT());
   Program P = makeProgram({A}, map(etaLambda(ufIdFloat()), A));
-  EXPECT_DEATH(inferTypes(P), "expected array");
+  EXPECT_THROW(
+      {
+        try {
+          inferTypes(P);
+        } catch (const TypeError &E) {
+          EXPECT_NE(std::string(E.what()).find("expected array"),
+                    std::string::npos)
+              << E.what();
+          throw;
+        }
+      },
+      TypeError);
 }
 
 TEST(TypeErrors, IterateMustPreserveType) {
@@ -86,7 +164,18 @@ TEST(TypeErrors, IterateMustPreserveType) {
     return pad(cst(1), cst(1), Boundary::clamp(), Xs);
   });
   Program P = makeProgram({A}, iterate(2, Grow, A));
-  EXPECT_DEATH(inferTypes(P), "iterate body must preserve");
+  EXPECT_THROW(
+      {
+        try {
+          inferTypes(P);
+        } catch (const TypeError &E) {
+          EXPECT_NE(std::string(E.what()).find("iterate body must preserve"),
+                    std::string::npos)
+              << E.what();
+          throw;
+        }
+      },
+      TypeError);
 }
 
 } // namespace

@@ -187,7 +187,42 @@ TEST(Lowering, TilingRequiresSlideNd) {
              return apply(ufAddFloat(), {X, lit(1.0f)});
            }),
            A));
-  EXPECT_EQ(lowerStencil(P, opt(true, 4, false, false, 1)), nullptr);
+  std::string WhyNot;
+  EXPECT_EQ(lowerStencil(P, opt(true, 4, false, false, 1), &WhyNot), nullptr);
+  EXPECT_NE(WhyNot.find("neither a slideNd"), std::string::npos) << WhyNot;
+}
+
+TEST(Lowering, MixedWindowGeometriesAreDiagnosed) {
+  // zip of two neighborhoods with different window shapes (a 3-window
+  // and a 5-window): the tiled lowering cannot pick one tile extent, so
+  // it must refuse with a reason instead of returning a bare nullptr
+  // that callers then dereference.
+  AExpr N = sizeVar("n");
+  ParamPtr A = param("A", arrayT(floatT(), N));
+  ParamPtr B = param("B", arrayT(floatT(), add(N, cst(2))));
+  LambdaPtr F = lam("t", [](ExprPtr T) {
+    ExprPtr SumA = theOne(
+        reduce(etaLambda(ufAddFloat()), lit(0.0f), get(0, T)));
+    ExprPtr SumB = theOne(
+        reduce(etaLambda(ufAddFloat()), lit(0.0f), get(1, T)));
+    return apply(ufAddFloat(), {SumA, SumB});
+  });
+  Program P = makeProgram(
+      {A, B}, map(F, zip(slide(cst(3), cst(1), pad(cst(1), cst(1),
+                                                   Boundary::clamp(), A)),
+                         slide(cst(5), cst(1), pad(cst(1), cst(1),
+                                                   Boundary::clamp(), B)))));
+  std::string WhyNot;
+  EXPECT_EQ(lowerStencil(P, opt(true, 4, false, false, 1), &WhyNot), nullptr);
+  EXPECT_NE(WhyNot.find("mixed window geometries"), std::string::npos)
+      << WhyNot;
+
+  // The same program still lowers untiled: the refusal is specific to
+  // the tiled strategy, not to the program.
+  std::string UntiledWhy;
+  EXPECT_NE(lowerStencil(P, opt(false, 0, false, false, 1), &UntiledWhy),
+            nullptr)
+      << UntiledWhy;
 }
 
 TEST(Lowering, IterateExpandsToMultiPhaseKernel) {

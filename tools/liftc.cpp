@@ -165,11 +165,12 @@ int cmdList() {
 
 ir::Program lowerOrDie(const Benchmark &B, const BenchmarkInstance &I,
                        const LoweringOptions &O) {
-  ir::Program Low = lowerStencil(I.P, O);
+  std::string WhyNot;
+  ir::Program Low = lowerStencil(I.P, O, &WhyNot);
   if (!Low) {
     std::fprintf(stderr,
-                 "error: options '%s' do not apply to benchmark %s\n",
-                 O.describe().c_str(), B.Name.c_str());
+                 "error: options '%s' do not apply to benchmark %s: %s\n",
+                 O.describe().c_str(), B.Name.c_str(), WhyNot.c_str());
     std::exit(1);
   }
   return Low;
