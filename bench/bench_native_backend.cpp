@@ -1,0 +1,212 @@
+//===- bench_native_backend.cpp - Native backend vs simulator model --------===//
+//
+// Part of the liftcpp project.
+//
+// Runs the paper's 2D/3D stencils through the native backend (C
+// emission -> host compiler -> dlopen -> real execution) and reports
+// measured wall-clock time next to the device-model prediction the
+// tuner normally ranks by. Each variant is validated against the
+// benchmark's independent golden implementation (max |err| < 1e-3;
+// the harness exits non-zero otherwise), so the table doubles as an
+// end-to-end correctness check of the emitted C.
+//
+// The two time columns deliberately measure different things: the
+// model predicts seconds on the paper's GPU (NvidiaK20c by default)
+// at the paper's target grid, while the native column is real seconds
+// on this host CPU at the reduced measurement grid. The comparison is
+// about *ranking agreement and availability of a measured objective*,
+// not absolute agreement.
+//
+// Passing --json [path] emits the JSON snapshot checked in as
+// BENCH_native_backend.json. --jobs N sets the OpenMP thread count of
+// the native runs; --warmup/--repeats control the timing protocol.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "codegen/Runner.h"
+#include "ir/StructuralHash.h"
+#include "native/NativeRunner.h"
+#include "ocl/Device.h"
+#include "rewrite/Lowering.h"
+#include "tuner/Tuner.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace lift;
+using namespace lift::stencil;
+using namespace lift::tuner;
+using namespace lift::bench;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  std::string Variant;
+  std::string MeasureGrid;
+  std::string TargetGrid;
+  double NativeMs = 0;
+  double NativeGElems = 0; ///< at measurement size, on this host
+  double ModeledMs = 0;
+  double ModeledGElems = 0; ///< at target size, on the device model
+  double MaxErr = 0;
+};
+
+unsigned parseUnsigned(int Argc, char **Argv, const char *Flag,
+                       unsigned Default) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::string(Argv[I]) == Flag)
+      return unsigned(std::atoi(Argv[I + 1]));
+  return Default;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  obs::ObsSession Obs = obsSessionFromArgs(argc, argv);
+  unsigned Threads = parseJobs(argc, argv, /*Default=*/1);
+  unsigned Warmup = parseUnsigned(argc, argv, "--warmup", 1);
+  unsigned Repeats = parseUnsigned(argc, argv, "--repeats", 3);
+
+  bool Json = false;
+  std::string JsonPath;
+  for (int I = 1; I < argc; ++I) {
+    if (std::string(argv[I]) == "--json") {
+      Json = true;
+      if (I + 1 < argc && argv[I + 1][0] != '-')
+        JsonPath = argv[I + 1];
+    }
+  }
+
+  try {
+    native::probeToolchain();
+  } catch (const native::NativeError &Ex) {
+    std::fprintf(stderr, "bench_native_backend: no usable toolchain: %s\n",
+                 Ex.what());
+    return 1;
+  }
+
+  ocl::DeviceSpec Dev = ocl::deviceNvidiaK20c();
+
+  // The two code shapes the backend emits: flat OpenMP-parallel loops
+  // (untiled mapGlb) and work-group tiles staged through a private
+  // local-memory array (tiled + local). Variants that do not satisfy a
+  // benchmark's divisibility constraints are skipped, like the tuner
+  // would prune them.
+  std::vector<Candidate> Variants(2);
+  Variants[0].Options.Tile = false;
+  Variants[1].Options.Tile = true;
+  Variants[1].Options.TileOutputs = 16;
+  Variants[1].Options.UseLocalMem = true;
+
+  std::vector<Row> Rows;
+  bool AllValid = true;
+
+  for (const char *Name : {"Jacobi2D5pt", "Gaussian", "Hotspot2D",
+                           "Jacobi3D7pt", "Heat", "Hotspot3D"}) {
+    const Benchmark &B = findBenchmark(Name);
+    TuningProblem P = makeProblem(B, /*LargeTarget=*/false);
+    ocl::SizeEnv MeasureEnv = makeSizeEnv(P.Instance, P.Measure);
+    std::vector<float> Want = B.Golden(P.Inputs, P.Measure);
+
+    for (const Candidate &C : Variants) {
+      Evaluated E = evaluateCandidate(P, Dev, C, /*Jobs=*/1);
+      if (!E.Valid)
+        continue; // constraint-pruned (e.g. tile does not divide)
+
+      ir::Program Low = rewrite::lowerStencil(P.Instance.P, C.Options);
+      codegen::Compiled CC = codegen::compileProgram(Low, B.Name);
+      Row R;
+      R.Name = Name;
+      R.Variant = C.Options.describe();
+      R.MeasureGrid = extentsToString(P.Measure);
+      R.TargetGrid = extentsToString(P.Target);
+      R.ModeledMs = E.T.Total * 1e3;
+      R.ModeledGElems = E.GElemsPerSec;
+      try {
+        native::NativeKernelPtr Kern =
+            native::KernelCache::global().getOrCompile(
+                ir::structuralHash(Low), CC.K);
+        native::NativeRunResult NR = native::runNative(
+            CC, *Kern, P.Inputs, MeasureEnv, Threads, Warmup, Repeats);
+        R.NativeMs = NR.Seconds * 1e3;
+        R.NativeGElems =
+            double(totalElems(P.Measure)) / NR.Seconds / 1e9;
+        for (std::size_t X = 0; X != Want.size(); ++X)
+          R.MaxErr = std::max(
+              R.MaxErr, double(std::abs(NR.Output[X] - Want[X])));
+      } catch (const native::NativeError &Ex) {
+        std::fprintf(stderr, "%s %s: native backend failed: %s\n", Name,
+                     R.Variant.c_str(), Ex.what());
+        AllValid = false;
+        continue;
+      }
+      if (R.MaxErr >= 1e-3) {
+        std::fprintf(stderr, "%s %s: VALIDATION FAILED (max err %.3g)\n",
+                     Name, R.Variant.c_str(), R.MaxErr);
+        AllValid = false;
+      }
+      Rows.push_back(R);
+    }
+  }
+
+  if (Json) {
+    std::string Out = "{\n\"device_model\": \"" + Dev.Name + "\"" +
+                      ",\n\"threads\": " + std::to_string(Threads) +
+                      ",\n\"warmup\": " + std::to_string(Warmup) +
+                      ",\n\"repeats\": " + std::to_string(Repeats) +
+                      ",\n\"benchmarks\": [\n";
+    for (std::size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      char Buf[512];
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "  {\"name\": \"%s\", \"variant\": \"%s\", "
+          "\"measure_grid\": \"%s\", \"target_grid\": \"%s\", "
+          "\"native_ms\": %.4f, \"native_gelems_per_sec\": %.4f, "
+          "\"modeled_ms\": %.4f, \"modeled_gelems_per_sec\": %.4f, "
+          "\"max_err\": %.3g}",
+          R.Name.c_str(), R.Variant.c_str(), R.MeasureGrid.c_str(),
+          R.TargetGrid.c_str(), R.NativeMs, R.NativeGElems, R.ModeledMs,
+          R.ModeledGElems, R.MaxErr);
+      Out += Buf;
+      Out += I + 1 == Rows.size() ? "\n" : ",\n";
+    }
+    Out += "]\n}\n";
+    if (JsonPath.empty()) {
+      std::cout << Out;
+    } else {
+      std::ofstream OS(JsonPath);
+      if (!OS) {
+        std::cerr << "cannot open " << JsonPath << " for writing\n";
+        return 1;
+      }
+      OS << Out;
+    }
+  } else {
+    std::printf("Native backend vs device model (%s); native: %u "
+                "thread(s), best of %u after %u warmup\n",
+                Dev.Name.c_str(), Threads, Repeats, Warmup);
+    printRule(104);
+    std::printf("%-12s %-14s %-12s %11s %12s %12s %13s %9s\n", "Benchmark",
+                "Variant", "Grid", "native ms", "nat GEl/s",
+                "model ms", "model GEl/s", "max err");
+    printRule(104);
+    for (const Row &R : Rows)
+      std::printf("%-12s %-14s %-12s %11.4f %12.3f %12.3f %13.3f %9.2g\n",
+                  R.Name.c_str(), R.Variant.c_str(), R.MeasureGrid.c_str(),
+                  R.NativeMs, R.NativeGElems, R.ModeledMs, R.ModeledGElems,
+                  R.MaxErr);
+    printRule(104);
+    std::printf("model times are for the %s at the paper's grid; native "
+                "times are this host at the measurement grid\n",
+                Dev.Name.c_str());
+  }
+
+  return AllValid ? 0 : 1;
+}

@@ -98,8 +98,10 @@ int main(int argc, char **argv) {
   }
 
   if (Json) {
+    // Both sweeps rank by the device model; a measured-objective sweep
+    // (tuner::Objective::Measured) would say "measured" here.
     std::string Out = "{\n\"jobs\": " + std::to_string(Jobs) +
-                      ",\n\"sweeps\": [\n";
+                      ",\n\"objective\": \"modeled\"" + ",\n\"sweeps\": [\n";
     for (std::size_t I = 0; I != Rows.size(); ++I) {
       const Row &R = Rows[I];
       char Buf[256];

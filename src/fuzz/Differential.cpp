@@ -9,6 +9,7 @@
 #include "codegen/Runner.h"
 #include "ir/StructuralHash.h"
 #include "ir/TypeInference.h"
+#include "native/NativeRunner.h"
 #include "rewrite/Exploration.h"
 #include "rewrite/Lowering.h"
 
@@ -186,6 +187,37 @@ DiffResult mismatch(std::string Report) {
   return R;
 }
 
+/// Oracle (f): compiles the lowered kernel to C with the host
+/// compiler (through the shared KernelCache, so a campaign compiles
+/// each distinct lowering once) and requires the native output to be
+/// bit-identical to the interpreter's. Mismatch and compile-failure
+/// reports embed the emitted C source so shrunk artifacts are
+/// self-contained. Returns nullopt when the oracle agrees.
+std::optional<DiffResult> checkNative(const Program &Low, const Compiled &C,
+                                      const std::string &Label,
+                                      const std::vector<float> &RefFlat,
+                                      const BuiltProgram &B,
+                                      const DiffOptions &O) {
+  try {
+    native::NativeKernelPtr Kern = native::KernelCache::global().getOrCompile(
+        ir::structuralHash(Low), C.K);
+    native::NativeRunResult NR =
+        native::runNative(C, *Kern, B.Flat, B.Sizes, O.NativeThreads);
+    if (firstDivergence(RefFlat, NR.Output) != -1)
+      return mismatch(mismatchReport(Label, RefFlat, NR.Output) +
+                      "emitted C source:\n" + Kern->source());
+  } catch (const native::CompileFailedError &Ex) {
+    // The emitter produced C the host compiler rejects: an emitter
+    // bug, reported (and shrunk) like any other oracle failure.
+    return mismatch("oracle mismatch: " + Label + "\nnative compile failed: " +
+                    Ex.what() + "\nemitted C source:\n" + Ex.Source);
+  } catch (const native::NativeError &Ex) {
+    return mismatch("oracle mismatch: " + Label +
+                    "\nnative backend failed: " + Ex.what());
+  }
+  return std::nullopt;
+}
+
 /// splitmix64: decorrelates per-program sub-seeds from the campaign
 /// seed so consecutive campaigns do not share prefixes.
 std::uint64_t splitmix64(std::uint64_t X) {
@@ -286,6 +318,13 @@ DiffResult lift::fuzz::runDifferential(const ProgramSpec &S,
         std::to_string(O.ParJobs) + ") counter determinism\n" +
         counterReport(Seq.Counters, Par.Counters));
 
+  // (f) Native executor: the dlopen()ed host-compiled C of the same
+  // kernel must be bit-identical to the interpreter too.
+  if (O.Native)
+    if (std::optional<DiffResult> NR = checkNative(
+            Low, C, "native executor vs interpreter", RefFlat, *B, O))
+      return *NR;
+
   // (e) Tiled lowering, when an exact tile fit exists.
   if (O.TryTiled) {
     if (std::int64_t V = pickTileOutputs(S)) {
@@ -310,6 +349,13 @@ DiffResult lift::fuzz::runDifferential(const ProgramSpec &S,
           return mismatch(
               "oracle mismatch: tiled parallel simulator determinism\n" +
               counterReport(TSeq.Counters, TPar.Counters));
+        if (O.Native)
+          if (std::optional<DiffResult> NR = checkNative(
+                  TLow, TC,
+                  "tiled native executor (v=" + std::to_string(V) +
+                      ") vs interpreter",
+                  RefFlat, *B, O))
+            return *NR;
       }
     }
   }

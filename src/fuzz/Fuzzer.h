@@ -11,12 +11,16 @@
 /// stencil program (1D/2D/3D compositions of map, zip, slide, pad with
 /// all four boundary kinds, split/join, transpose and reduce, with
 /// sizes drawn to hit divisibility edge cases) which is then executed
-/// through four independent oracles:
+/// through independent oracles:
 ///
 ///   (a) the reference interpreter,
 ///   (b) random legal rewrite sequences re-interpreted,
 ///   (c) lowering -> the sequential NDRange simulator,
 ///   (d) the parallel simulator at several job counts,
+///   (e) tiled lowering through both simulator engines when it fits,
+///   (f) optionally (DiffOptions::Native) the native executor: the
+///       kernel emitted as C, compiled with the host compiler,
+///       dlopen()ed and run for real,
 ///
 /// asserting bit-identical outputs everywhere and bit-identical
 /// execution counters between the two simulator engines. A mismatch is
@@ -131,6 +135,12 @@ struct DiffOptions {
   unsigned ParJobs = 8;   ///< job count for the parallel-engine oracle
   bool TryTiled = true;   ///< add a tiled-lowering oracle when it fits
   bool InjectBug = false; ///< self-test mode: use the broken rule set
+  /// Oracle (f): compile every lowered kernel to C with the host
+  /// compiler (native/NativeRunner.h) and require its output to be
+  /// bit-identical to the interpreter. Mismatch reports embed the
+  /// emitted C source. Callers should gate on probeToolchain().
+  bool Native = false;
+  unsigned NativeThreads = 2; ///< OpenMP threads for the native oracle
 };
 
 enum class DiffStatus {

@@ -1,0 +1,77 @@
+//===- CEmitter.h - Kernel AST to plain C ----------------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the imperative kernel AST (ocl/KernelAst.h) to plain C so it
+/// can be compiled by the host toolchain and executed natively (the
+/// Devito-style "emit C, compile, dlopen" backend). The emitted source
+/// is a semantic mirror of the NDRange simulator:
+///
+///  * every loop — Seq, Glb, Wrg, Lcl — iterates 0..count-1 in order,
+///    matching the simulator's exact-fit NDRange execution;
+///  * index arithmetic uses *floor* division/modulo helpers
+///    (lift_fdiv/lift_fmod), the semantics ArithExpr::evaluate uses —
+///    C's truncating `/` and `%` would diverge on negative operands;
+///  * float literals are printed with 9 significant digits, enough for
+///    any float to round-trip bit-exactly;
+///  * user functions keep their OpenCL C bodies, with sqrt/fmax/fmin
+///    mapped onto their float-precision C versions so arithmetic stays
+///    in float exactly as the interpreter's C++ callbacks compute it;
+///  * barriers vanish: a Lcl loop runs to completion before the next
+///    statement, which is the simulator's (and, under the pragma
+///    placement below, OpenMP's) implicit barrier.
+///
+/// Parallelism: the outermost Glb/Wrg loops get
+/// `#pragma omp parallel for` and every register and local/private
+/// buffer used under such a loop is declared inside its body, making
+/// it iteration-private — the moral equivalent of OpenCL private
+/// variables and per-work-group local memory. When a register or
+/// local/private buffer is used outside any such loop (or across two
+/// of them) the emitter falls back to a fully sequential program,
+/// which is always correct.
+///
+/// The entry point ABI is positional:
+///
+///   void <name>(void **lift_bufs, const long long *lift_sizes,
+///               int lift_threads);
+///
+/// `lift_bufs` holds one pointer per *global* buffer in declaration
+/// order (float* or int32_t* according to the element kind);
+/// `lift_sizes` holds one value per Kernel::SizeArgs entry, in order.
+/// Buffer/size order is a pure function of the kernel structure, so
+/// alpha-equivalent kernels (equal structural hash) share one ABI —
+/// the property the compiled-kernel cache relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_NATIVE_CEMITTER_H
+#define LIFT_NATIVE_CEMITTER_H
+
+#include "ocl/KernelAst.h"
+
+#include <string>
+
+namespace lift {
+namespace native {
+
+struct CEmitOptions {
+  /// Emit `#pragma omp parallel for` on parallelizable outermost
+  /// Glb/Wrg loops. The pragmas are ignored when the source is
+  /// compiled without -fopenmp, so disabling this only pins the
+  /// golden-source tests of the sequential shape.
+  bool OpenMP = true;
+};
+
+/// Renders \p K as a self-contained C translation unit. The output is
+/// deterministic: equal kernels produce byte-identical source (the
+/// golden-snapshot contract in tests/native/golden/).
+std::string emitC(const ocl::Kernel &K, const CEmitOptions &O = {});
+
+} // namespace native
+} // namespace lift
+
+#endif // LIFT_NATIVE_CEMITTER_H

@@ -1,0 +1,475 @@
+//===- NativeRunner.cpp - Compile-and-run-natively --------------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/NativeRunner.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+using namespace lift;
+using namespace lift::native;
+using namespace lift::ocl;
+
+namespace {
+
+bool isExecutableFile(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISREG(St.st_mode) &&
+         ::access(Path.c_str(), X_OK) == 0;
+}
+
+/// Resolves \p Name against $PATH (absolute/relative paths are checked
+/// directly). Returns the usable path or empty.
+std::string resolveExecutable(const std::string &Name) {
+  if (Name.empty())
+    return "";
+  if (Name.find('/') != std::string::npos)
+    return isExecutableFile(Name) ? Name : "";
+  const char *PathEnv = std::getenv("PATH");
+  if (!PathEnv)
+    return "";
+  std::string Paths(PathEnv);
+  std::size_t Pos = 0;
+  while (Pos <= Paths.size()) {
+    std::size_t Colon = Paths.find(':', Pos);
+    if (Colon == std::string::npos)
+      Colon = Paths.size();
+    std::string Dir = Paths.substr(Pos, Colon - Pos);
+    if (!Dir.empty()) {
+      std::string Cand = Dir + "/" + Name;
+      if (isExecutableFile(Cand))
+        return Cand;
+    }
+    Pos = Colon + 1;
+  }
+  return "";
+}
+
+/// Removes one temp compilation directory and its known contents on
+/// every exit path.
+class TempDir {
+public:
+  explicit TempDir(bool Keep) : Keep(Keep) {
+    const char *Base = std::getenv("TMPDIR");
+    std::string Tmpl = (Base && *Base ? std::string(Base) : "/tmp");
+    if (Tmpl.back() == '/')
+      Tmpl.pop_back();
+    Tmpl += "/liftc-native-XXXXXX";
+    std::vector<char> Buf(Tmpl.begin(), Tmpl.end());
+    Buf.push_back('\0');
+    if (!::mkdtemp(Buf.data()))
+      throw NativeError("native backend: mkdtemp failed under " + Tmpl);
+    Dir = Buf.data();
+  }
+
+  ~TempDir() {
+    if (Keep || Dir.empty())
+      return;
+    for (const std::string &F : Files)
+      ::unlink(F.c_str());
+    ::rmdir(Dir.c_str());
+  }
+
+  TempDir(const TempDir &) = delete;
+  TempDir &operator=(const TempDir &) = delete;
+
+  /// Registers (and returns) a path inside the directory for cleanup.
+  std::string file(const std::string &Name) {
+    Files.push_back(Dir + "/" + Name);
+    return Files.back();
+  }
+
+  const std::string &path() const { return Dir; }
+
+private:
+  std::string Dir;
+  std::vector<std::string> Files;
+  bool Keep;
+};
+
+void writeFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    throw NativeError("native backend: cannot write " + Path);
+  std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+}
+
+/// Shell-quotes one word (single quotes; rejects embedded quotes, which
+/// never occur in sane compiler paths).
+std::string shellQuote(const std::string &S) {
+  if (S.find('\'') != std::string::npos)
+    throw NativeError("native backend: refusing path containing a quote: " +
+                      S);
+  return "'" + S + "'";
+}
+
+/// Runs \p Command via popen, capturing combined stdout+stderr.
+/// Returns the exit code (-1 when the shell could not run).
+int runCommand(const std::string &Command, std::string &Output) {
+  Output.clear();
+  std::FILE *P = ::popen((Command + " 2>&1").c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Output.append(Buf, N);
+  int Status = ::pclose(P);
+  if (Status < 0)
+    return -1;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+/// One compile attempt; returns the compiler exit code.
+int invokeCompiler(const std::string &Compiler, const std::string &Src,
+                   const std::string &Obj, const NativeOptions &O,
+                   bool WithOpenMP, std::string &Diag) {
+  std::string Cmd = shellQuote(Compiler) + " -O" +
+                    std::to_string(O.OptLevel) +
+                    " -fPIC -shared -ffp-contract=off";
+  if (WithOpenMP)
+    Cmd += " -fopenmp";
+  Cmd += " -o " + shellQuote(Obj) + " " + shellQuote(Src) + " -lm";
+  return runCommand(Cmd, Diag);
+}
+
+/// Recovers the entry name from emitted source: the emitter may have
+/// renamed the kernel on collision with a reserved word, so the
+/// signature line is the source of truth.
+std::string entryNameFromSource(const std::string &Source) {
+  std::size_t At = Source.find("\nvoid ");
+  std::size_t Paren =
+      Source.find('(', At == std::string::npos ? 0 : At);
+  if (At == std::string::npos || Paren == std::string::npos)
+    fatalError("native backend: emitted source has no entry signature");
+  return Source.substr(At + 6, Paren - (At + 6));
+}
+
+} // namespace
+
+std::string lift::native::findCompiler(const NativeOptions &O) {
+  std::vector<std::string> Candidates;
+  if (!O.CompilerPath.empty()) {
+    // An explicit path must work; no silent fallback past a typo.
+    std::string R = resolveExecutable(O.CompilerPath);
+    if (R.empty())
+      throw CompilerNotFoundError(
+          "native backend: compiler '" + O.CompilerPath +
+          "' not found or not executable");
+    return R;
+  }
+  if (const char *E = std::getenv("LIFT_NATIVE_CC"))
+    Candidates.push_back(E);
+  if (const char *E = std::getenv("CC"))
+    Candidates.push_back(E);
+  Candidates.push_back("cc");
+  Candidates.push_back("gcc");
+  Candidates.push_back("clang");
+  for (const std::string &C : Candidates) {
+    std::string R = resolveExecutable(C);
+    if (!R.empty())
+      return R;
+  }
+  throw CompilerNotFoundError(
+      "native backend: no host C compiler found (tried $LIFT_NATIVE_CC, "
+      "$CC, cc, gcc, clang); set LIFT_NATIVE_CC or install one");
+}
+
+NativeKernel::NativeKernel(void *Handle, EntryFn Entry, std::string Source)
+    : Handle(Handle), Entry(Entry), Source(std::move(Source)) {}
+
+NativeKernel::~NativeKernel() {
+  if (Handle)
+    ::dlclose(Handle);
+}
+
+NativeKernelPtr lift::native::compileCSource(const std::string &Source,
+                                             const std::string &EntryName,
+                                             const NativeOptions &O) {
+  obs::Span CompSpan("native.compile", "native");
+  CompSpan.arg("entry", EntryName);
+  std::string Compiler = findCompiler(O);
+
+  TempDir Tmp(O.KeepTemps);
+  std::string Src = Tmp.file(EntryName + ".c");
+  std::string Obj = Tmp.file(EntryName + ".so");
+  writeFile(Src, Source);
+
+  std::string Diag;
+  int RC = invokeCompiler(Compiler, Src, Obj, O, O.OpenMP, Diag);
+  if (RC != 0 && O.OpenMP) {
+    // Some toolchains (clang without libomp) cannot link -fopenmp;
+    // retry sequentially — the pragmas are then inert, which is still
+    // correct, just single-threaded.
+    std::string Diag2;
+    if (invokeCompiler(Compiler, Src, Obj, O, /*WithOpenMP=*/false,
+                       Diag2) == 0) {
+      RC = 0;
+      Diag.clear();
+    }
+  }
+  if (RC != 0)
+    throw CompileFailedError("native backend: '" + Compiler +
+                                 "' failed (exit " + std::to_string(RC) +
+                                 "):\n" + Diag,
+                             Diag, Source);
+
+  void *Handle = ::dlopen(Obj.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *E = ::dlerror();
+    throw NativeError(std::string("native backend: dlopen failed: ") +
+                      (E ? E : "unknown error"));
+  }
+  ::dlerror();
+  void *Sym = ::dlsym(Handle, EntryName.c_str());
+  if (!Sym) {
+    const char *E = ::dlerror();
+    ::dlclose(Handle);
+    throw SymbolNotFoundError(
+        "native backend: entry symbol '" + EntryName +
+        "' not found in compiled kernel" +
+        (E ? std::string(" (") + E + ")" : std::string()));
+  }
+  obs::Registry::global().counter("native.compiles").inc();
+  NativeKernel::EntryFn Entry;
+  static_assert(sizeof(Entry) == sizeof(Sym), "function pointer size");
+  std::memcpy(&Entry, &Sym, sizeof(Entry));
+  // TempDir now removes source and object; the mapping stays valid.
+  return std::make_shared<NativeKernel>(Handle, Entry, Source);
+}
+
+NativeKernelPtr lift::native::compileKernel(const ocl::Kernel &K,
+                                            const NativeOptions &O) {
+  CEmitOptions EO;
+  EO.OpenMP = O.EmitOpenMP;
+  std::string Source = emitC(K, EO);
+  return compileCSource(Source, entryNameFromSource(Source), O);
+}
+
+//===----------------------------------------------------------------------===//
+// KernelCache
+//===----------------------------------------------------------------------===//
+
+struct KernelCache::Entry {
+  std::mutex M;
+  std::condition_variable CV;
+  bool Ready = false;
+  std::string Source; ///< key part: resolves hash collisions
+  NativeKernelPtr Kernel;
+  std::string Error; ///< non-empty: cached compile failure
+
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [this] { return Ready; });
+  }
+};
+
+KernelCache &KernelCache::global() {
+  static KernelCache *C = new KernelCache(); // leaked like the registries
+  return *C;
+}
+
+NativeKernelPtr KernelCache::getOrCompile(std::uint64_t LoweredHash,
+                                          const ocl::Kernel &K,
+                                          const NativeOptions &O) {
+  CEmitOptions EO;
+  EO.OpenMP = O.EmitOpenMP;
+  std::string Source = emitC(K, EO);
+
+  std::shared_ptr<Entry> E;
+  bool Owner = false;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto Range = Map.equal_range(LoweredHash);
+    for (auto It = Range.first; It != Range.second; ++It)
+      if (It->second->Source == Source) {
+        E = It->second;
+        break;
+      }
+    if (E) {
+      ++Hits;
+    } else {
+      ++Misses;
+      Owner = true;
+      E = std::make_shared<Entry>();
+      E->Source = Source;
+      Map.emplace(LoweredHash, E);
+    }
+  }
+  obs::Registry::global()
+      .counter(Owner ? "native.cache.misses" : "native.cache.hits")
+      .inc();
+
+  if (Owner) {
+    NativeKernelPtr Kern;
+    std::string Err;
+    try {
+      Kern = compileCSource(Source, entryNameFromSource(Source), O);
+    } catch (const NativeError &Ex) {
+      Err = Ex.what();
+    }
+    {
+      std::lock_guard<std::mutex> Lock(E->M);
+      E->Kernel = Kern;
+      E->Error = Err;
+      E->Ready = true;
+    }
+    E->CV.notify_all();
+  } else {
+    E->wait();
+  }
+  if (!E->Kernel)
+    throw NativeError(E->Error.empty()
+                          ? std::string("native backend: cached compile "
+                                        "failure")
+                          : E->Error);
+  return E->Kernel;
+}
+
+std::uint64_t KernelCache::hits() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Hits;
+}
+
+std::uint64_t KernelCache::misses() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Misses;
+}
+
+void KernelCache::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Map.clear();
+  Hits = Misses = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+void lift::native::probeToolchain(const NativeOptions &O) {
+  NativeKernelPtr Probe = compileCSource(
+      "void lift_probe(void **bufs, const long long *sizes, int threads) "
+      "{ (void)bufs; (void)sizes; (void)threads; }\n",
+      "lift_probe", O);
+  void *Dummy[1] = {nullptr};
+  long long Sz[1] = {0};
+  Probe->entry()(Dummy, Sz, 1);
+}
+
+NativeRunResult lift::native::runNative(
+    const codegen::Compiled &C, const NativeKernel &Kern,
+    const std::vector<std::vector<float>> &Inputs, const SizeEnv &Sizes,
+    unsigned Threads, unsigned Warmup, unsigned Repeats) {
+  if (Inputs.size() != C.InputBufferIds.size())
+    fatalError("runNative: input count mismatch");
+  if (Repeats == 0)
+    Repeats = 1;
+  if (Threads == 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    Threads = HW ? HW : 1;
+  }
+
+  obs::Span RunSpan("native.run", "native");
+  RunSpan.arg("kernel", C.K.Name);
+  RunSpan.arg("threads", std::int64_t(Threads));
+
+  // Allocate one storage block per *global* buffer, zero-initialized
+  // exactly like the simulator's fresh storage.
+  const Kernel &K = C.K;
+  std::vector<std::vector<float>> FloatStore(K.Buffers.size());
+  std::vector<std::vector<std::int32_t>> IntStore(K.Buffers.size());
+  std::vector<void *> Ptrs;
+  for (const BufferDecl &B : K.Buffers) {
+    if (B.Space != MemSpace::Global)
+      continue;
+    std::int64_t N = B.NumElems->evaluate(Sizes);
+    if (N < 0)
+      fatalError("runNative: negative buffer extent for " + B.Name);
+    std::size_t Idx = std::size_t(B.Id);
+    if (B.ElemKind == ir::ScalarKind::Float) {
+      FloatStore[Idx].assign(std::size_t(N), 0.0f);
+      Ptrs.push_back(FloatStore[Idx].data());
+    } else {
+      IntStore[Idx].assign(std::size_t(N), 0);
+      Ptrs.push_back(IntStore[Idx].data());
+    }
+  }
+
+  // Bind inputs with the simulator's conventions (Executor::bindInput).
+  for (std::size_t I = 0; I != Inputs.size(); ++I) {
+    const BufferDecl &B = K.buffer(C.InputBufferIds[I]);
+    std::size_t Idx = std::size_t(B.Id);
+    if (B.ElemKind == ir::ScalarKind::Float) {
+      if (Inputs[I].size() != FloatStore[Idx].size())
+        fatalError("runNative: size mismatch for buffer " + B.Name +
+                   " (got " + std::to_string(Inputs[I].size()) + ", want " +
+                   std::to_string(FloatStore[Idx].size()) + ")");
+      FloatStore[Idx] = Inputs[I];
+    } else {
+      if (Inputs[I].size() != IntStore[Idx].size())
+        fatalError("runNative: size mismatch for int buffer " + B.Name);
+      for (std::size_t J = 0; J != Inputs[I].size(); ++J)
+        IntStore[Idx][J] = std::int32_t(Inputs[I][J]);
+    }
+  }
+
+  std::vector<long long> SizeVals;
+  for (const auto &SA : K.SizeArgs) {
+    auto It = Sizes.find(SA.first);
+    if (It == Sizes.end())
+      fatalError("runNative: unbound size variable " + SA.second);
+    SizeVals.push_back((long long)It->second);
+  }
+  // The entry dereferences lift_sizes[0] layout only up to SizeArgs
+  // entries; keep the pointer valid even for zero size args.
+  if (SizeVals.empty())
+    SizeVals.push_back(0);
+
+  NativeRunResult R;
+  {
+    // Serialize timed sections process-wide so concurrent candidate
+    // evaluations cannot contaminate each other's wall clock.
+    static std::mutex MeasureMutex;
+    std::lock_guard<std::mutex> Lock(MeasureMutex);
+    for (unsigned I = 0; I != Warmup; ++I)
+      Kern.entry()(Ptrs.data(), SizeVals.data(), int(Threads));
+    double Best = 0;
+    for (unsigned I = 0; I != Repeats; ++I) {
+      auto T0 = std::chrono::steady_clock::now();
+      Kern.entry()(Ptrs.data(), SizeVals.data(), int(Threads));
+      double S = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - T0)
+                     .count();
+      if (I == 0 || S < Best)
+        Best = S;
+    }
+    R.Seconds = Best;
+  }
+  obs::Registry::global().counter("native.runs").inc();
+
+  const BufferDecl &OutB = K.buffer(C.OutputBufferId);
+  std::size_t OutIdx = std::size_t(OutB.Id);
+  if (OutB.ElemKind == ir::ScalarKind::Float) {
+    R.Output = FloatStore[OutIdx];
+  } else {
+    R.Output.resize(IntStore[OutIdx].size());
+    for (std::size_t I = 0; I != R.Output.size(); ++I)
+      R.Output[I] = float(IntStore[OutIdx][I]);
+  }
+  return R;
+}

@@ -90,10 +90,17 @@ std::string FlightRecorder::summary() const {
                                                            Prunes.end());
     Out += "  pruned: " + formatCounts(KVs) + "\n";
     if (Best) {
-      std::snprintf(Line, sizeof(Line),
-                    "  best: %s (%.3f GElem/s, predicted %.3g s)\n",
-                    Best->Variant.c_str(), Best->GElemsPerSec,
-                    Best->PredictedTime);
+      if (Best->MeasuredTime > 0)
+        std::snprintf(Line, sizeof(Line),
+                      "  best: %s (%.3f GElem/s, predicted %.3g s, "
+                      "measured %.3g s)\n",
+                      Best->Variant.c_str(), Best->GElemsPerSec,
+                      Best->PredictedTime, Best->MeasuredTime);
+      else
+        std::snprintf(Line, sizeof(Line),
+                      "  best: %s (%.3f GElem/s, predicted %.3g s)\n",
+                      Best->Variant.c_str(), Best->GElemsPerSec,
+                      Best->PredictedTime);
       Out += Line;
     }
   }
@@ -132,6 +139,10 @@ std::string FlightRecorder::exportJsonArray() const {
       Out += R.FromMemo ? "true" : "false";
       Out += ",\"valid\":";
       Out += R.Valid ? "true" : "false";
+      std::snprintf(Num, sizeof(Num), ",\"measured_time\":%.9g",
+                    R.MeasuredTime);
+      Out += Num;
+      Out += ",\"objective\":\"" + json::escape(R.Objective) + "\"";
       std::snprintf(Num, sizeof(Num), ",\"wall_us\":%.3f}", R.WallMicros);
       Out += Num;
     }

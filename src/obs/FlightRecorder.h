@@ -50,6 +50,11 @@ struct CandidateRecord {
   bool FromMemo = false;       ///< simulation shared via the eval memo
   bool Valid = false;
   double WallMicros = 0;       ///< wall time of this evaluation
+  /// Native wall-clock seconds of one kernel execution when the sweep
+  /// ran under the measured objective; 0 under the modeled objective.
+  double MeasuredTime = 0;
+  /// What this sweep ranked candidates by: "modeled" or "measured".
+  std::string Objective = "modeled";
 };
 
 /// The process-wide recorder. Disabled (and free) by default; the

@@ -11,6 +11,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 
 using namespace lift;
 using namespace lift::ir;
@@ -76,6 +77,18 @@ std::vector<unsigned> varIds(const std::vector<AExpr> &SizeVars) {
   return Ids;
 }
 
+/// Renders \p V as a C float literal that parses back to exactly the
+/// same float, so the generated-code weights agree bit-for-bit with
+/// the evaluation closure's (%.9g round-trips any float).
+std::string floatLiteral(float V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", double(V));
+  std::string S(Buf);
+  if (S.find_first_of(".e") == std::string::npos)
+    S += ".0";
+  return S + "f";
+}
+
 /// A user function computing a weighted sum of K scalar arguments.
 UserFunPtr weightedUF(const std::string &Name,
                       const std::vector<float> &Weights) {
@@ -87,7 +100,7 @@ UserFunPtr weightedUF(const std::string &Name,
     Kinds.push_back(ScalarKind::Float);
     if (I != 0)
       Body += " + ";
-    Body += std::to_string(Weights[I]) + "f * a" + std::to_string(I);
+    Body += floatLiteral(Weights[I]) + " * a" + std::to_string(I);
   }
   Body += ";";
   std::vector<float> W = Weights;

@@ -8,6 +8,7 @@
 
 #include "codegen/Runner.h"
 #include "ir/StructuralHash.h"
+#include "native/NativeRunner.h"
 #include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -58,7 +59,8 @@ TuningProblem lift::tuner::makeProblem(const Benchmark &B, bool LargeTarget) {
 
 std::uint64_t PruneStats::total() const {
   return TileStepMisaligned + TileIndivisible + TileCoarsenMisaligned +
-         LocalMemOverflow + CoarsenIndivisible + LoweringFailed;
+         LocalMemOverflow + CoarsenIndivisible + LoweringFailed +
+         NativeFailed;
 }
 
 std::string PruneStats::describe() const {
@@ -68,7 +70,8 @@ std::string PruneStats::describe() const {
        {"tile-coarsen-misaligned", TileCoarsenMisaligned},
        {"local-mem-overflow", LocalMemOverflow},
        {"coarsen-indivisible", CoarsenIndivisible},
-       {"lowering-failed", LoweringFailed}});
+       {"lowering-failed", LoweringFailed},
+       {"native-compile-failed", NativeFailed}});
 }
 
 namespace {
@@ -124,6 +127,7 @@ enum class PruneReason {
   LocalMemOverflow,
   CoarsenIndivisible,
   LoweringFailed,
+  NativeFailed,
 };
 
 /// The stable names shared by the "tuner.prune.<name>" metric keys,
@@ -144,6 +148,8 @@ const char *pruneReasonName(PruneReason R) {
     return "coarsen-indivisible";
   case PruneReason::LoweringFailed:
     return "lowering-failed";
+  case PruneReason::NativeFailed:
+    return "native-compile-failed";
   }
   unreachable("covered switch");
 }
@@ -239,8 +245,9 @@ private:
 };
 
 Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
-                   const Candidate &C, unsigned Jobs, EvalMemo *Memo,
-                   PruneReason &Why, obs::CandidateRecord *Rec) {
+                   const Candidate &C, const TuneOptions &Opts,
+                   EvalMemo *Memo, PruneReason &Why,
+                   obs::CandidateRecord *Rec) {
   Why = PruneReason::None;
   Evaluated R;
   R.C = C;
@@ -286,8 +293,9 @@ Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
     Why = PruneReason::LoweringFailed;
     return R;
   }
+  std::size_t LowHash = ir::structuralHash(Low);
   if (Rec)
-    Rec->LoweredHash = ir::structuralHash(Low);
+    Rec->LoweredHash = LowHash;
 
   CacheConfig Cache = scaledCache(Dev.Cache, P.Measure, P.Target);
   auto MeasureEnv = makeSizeEnv(I, P.Measure);
@@ -306,8 +314,9 @@ Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
     R.FromMemo = true;
   } else {
     codegen::Compiled Compiled = codegen::compileProgram(Low, B.Name);
-    codegen::RunResult Run =
-        codegen::runCompiled(Compiled, P.Inputs, MeasureEnv, Cache, Jobs);
+    codegen::RunResult Run = codegen::runCompiled(Compiled, P.Inputs,
+                                                  MeasureEnv, Cache,
+                                                  Opts.Jobs);
     Counters = Run.Counters;
     ND = analyzeNDRange(Compiled.K, TargetEnv);
     if (Ent)
@@ -327,6 +336,29 @@ Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
   R.T = estimateTime(Dev, Scaled, ND, C.Launch);
   R.Valid = true;
   R.GElemsPerSec = double(totalElems(P.Target)) / R.T.Total / 1e9;
+
+  // Measured objective: also execute the candidate for real through
+  // the native backend. The KernelCache (keyed on LowHash) compiles
+  // each distinct lowering once per process, so work-group-size
+  // variants of one lowering share a binary; every candidate is still
+  // *measured* individually — wall clock is noisy, never memoized.
+  if (Opts.Obj == Objective::Measured) {
+    try {
+      codegen::Compiled NatC = codegen::compileProgram(Low, B.Name);
+      native::NativeKernelPtr Kern =
+          native::KernelCache::global().getOrCompile(LowHash, NatC.K);
+      native::NativeRunResult NR = native::runNative(
+          NatC, *Kern, P.Inputs, MeasureEnv, Opts.MeasureThreads,
+          Opts.MeasureWarmup, Opts.MeasureRepeats);
+      R.MeasuredSeconds = NR.Seconds;
+      R.MeasuredGElemsPerSec =
+          double(totalElems(P.Measure)) / NR.Seconds / 1e9;
+    } catch (const native::NativeError &) {
+      Why = PruneReason::NativeFailed;
+      R.Valid = false;
+      return R;
+    }
+  }
   return R;
 }
 
@@ -334,12 +366,13 @@ Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
 /// time, prune/valid counters and the flight-recorder record fields
 /// (everything except Index, which only the sweep loop knows).
 Evaluated evalInstrumented(const TuningProblem &P, const DeviceSpec &Dev,
-                           const Candidate &C, unsigned Jobs, EvalMemo *Memo,
-                           PruneReason &Why, obs::CandidateRecord *Rec) {
+                           const Candidate &C, const TuneOptions &Opts,
+                           EvalMemo *Memo, PruneReason &Why,
+                           obs::CandidateRecord *Rec) {
   obs::Span CandSpan("tuner.candidate", "tuner");
   CandSpan.arg("variant", C.describe());
   auto T0 = std::chrono::steady_clock::now();
-  Evaluated R = evalImpl(P, Dev, C, Jobs, Memo, Why, Rec);
+  Evaluated R = evalImpl(P, Dev, C, Opts, Memo, Why, Rec);
   double WallUs = std::chrono::duration<double, std::micro>(
                       std::chrono::steady_clock::now() - T0)
                       .count();
@@ -360,6 +393,9 @@ Evaluated evalInstrumented(const TuningProblem &P, const DeviceSpec &Dev,
     Rec->FromMemo = R.FromMemo;
     Rec->Valid = R.Valid;
     Rec->WallMicros = WallUs;
+    Rec->MeasuredTime = R.MeasuredSeconds;
+    Rec->Objective =
+        Opts.Obj == Objective::Measured ? "measured" : "modeled";
   }
   CandSpan.arg("valid", std::int64_t(R.Valid ? 1 : 0));
   return R;
@@ -371,7 +407,9 @@ Evaluated lift::tuner::evaluateCandidate(const TuningProblem &P,
                                          const DeviceSpec &Dev,
                                          const Candidate &C, unsigned Jobs) {
   PruneReason Why;
-  return evalInstrumented(P, Dev, C, Jobs, /*Memo=*/nullptr, Why,
+  TuneOptions Opts;
+  Opts.Jobs = Jobs;
+  return evalInstrumented(P, Dev, C, Opts, /*Memo=*/nullptr, Why,
                           /*Rec=*/nullptr);
 }
 
@@ -388,7 +426,8 @@ TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
   obs::Registry &Reg = obs::Registry::global();
   for (const char *Name :
        {"tile-step-misaligned", "tile-indivisible", "tile-coarsen-misaligned",
-        "local-mem-overflow", "coarsen-indivisible", "lowering-failed"})
+        "local-mem-overflow", "coarsen-indivisible", "lowering-failed",
+        "native-compile-failed"})
     Reg.counter(std::string("tuner.prune.") + Name);
 
   std::vector<Candidate> Candidates;
@@ -452,7 +491,7 @@ TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
   auto EvalOne = [&](std::size_t I) {
     obs::CandidateRecord Rec;
     Rec.Index = I;
-    Evals[I] = evalInstrumented(P, Dev, Candidates[I], Opts.Jobs, MemoPtr,
+    Evals[I] = evalInstrumented(P, Dev, Candidates[I], Opts, MemoPtr,
                                 Reasons[I], Record ? &Rec : nullptr);
     if (Record)
       Recorder.record(I, std::move(Rec));
@@ -491,6 +530,9 @@ TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
     case PruneReason::LoweringFailed:
       ++Result.Prunes.LoweringFailed;
       break;
+    case PruneReason::NativeFailed:
+      ++Result.Prunes.NativeFailed;
+      break;
     }
     const Evaluated &E = Evals[I];
     if (!E.Valid)
@@ -498,9 +540,13 @@ TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
     if (E.FromMemo)
       ++Result.MemoHits;
     Result.All.push_back(E);
-    if (!Result.Best.Valid || E.T.Total < BestTime) {
+    // Under the measured objective real wall-clock seconds rank the
+    // candidates; the modeled time is still recorded for comparison.
+    double Score =
+        Opts.Obj == Objective::Measured ? E.MeasuredSeconds : E.T.Total;
+    if (!Result.Best.Valid || Score < BestTime) {
       Result.Best = E;
-      BestTime = E.T.Total;
+      BestTime = Score;
     }
   }
   if (!Result.Best.Valid)

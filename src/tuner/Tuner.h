@@ -89,6 +89,17 @@ struct TuningProblem {
 /// Builds a problem for the benchmark's small or large target size.
 TuningProblem makeProblem(const stencil::Benchmark &B, bool LargeTarget);
 
+/// The quantity the search minimizes. Modeled is the classic flow:
+/// counters from the instrumented simulator through the device timing
+/// model. Measured additionally compiles every valid candidate with
+/// the native backend (native/NativeRunner.h) and ranks by real
+/// wall-clock seconds on the measurement grid; the modeled time is
+/// still computed and recorded so flight records can compare the two.
+enum class Objective {
+  Modeled,
+  Measured,
+};
+
 /// One evaluated candidate.
 struct Evaluated {
   Candidate C;
@@ -100,6 +111,11 @@ struct Evaluated {
   /// Giga grid-point updates per second at the target size (the
   /// paper's Figure 7 metric).
   double GElemsPerSec = 0.0;
+  /// Objective::Measured only: best native wall-clock seconds of one
+  /// kernel execution on the measurement grid, and the corresponding
+  /// throughput at measurement size. Zero under Objective::Modeled.
+  double MeasuredSeconds = 0.0;
+  double MeasuredGElemsPerSec = 0.0;
 };
 
 /// Why candidates were rejected before (or during) lowering, counted
@@ -112,6 +128,7 @@ struct PruneStats {
   std::uint64_t LocalMemOverflow = 0;     ///< staged tile exceeds local mem
   std::uint64_t CoarsenIndivisible = 0;   ///< coarsening does not divide grid
   std::uint64_t LoweringFailed = 0;       ///< rewrite produced no program
+  std::uint64_t NativeFailed = 0; ///< measured objective: native backend failed
   std::uint64_t total() const;
   /// e.g. "tile-indivisible=12, local-mem-overflow=3".
   std::string describe() const;
@@ -132,6 +149,17 @@ struct TuneOptions {
   /// lowering). Never changes results, only skips redundant work.
   /// Ignored at Jobs == 1, which stays the legacy tuner verbatim.
   bool UseMemo = true;
+  /// What the argmin ranks by. Objective::Measured needs a working
+  /// host C toolchain; candidates whose native compilation fails are
+  /// pruned as "native-compile-failed". Measured runs are serialized
+  /// process-wide, so Jobs == 1 is the sensible pairing.
+  Objective Obj = Objective::Modeled;
+  /// Measured objective only: OpenMP threads per native run
+  /// (0 = all hardware threads), untimed warmup executions, and timed
+  /// repeats (the minimum is taken, standard for wall-clock noise).
+  unsigned MeasureThreads = 1;
+  unsigned MeasureWarmup = 1;
+  unsigned MeasureRepeats = 3;
 };
 
 /// Result of a search.

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerates the native-backend C source snapshots in
+# tests/native/golden/ from the current emitter. Run after an
+# intentional CEmitter change, then review the .c diffs.
+#
+# Usage: tests/native/update_golden.sh [build-dir]   (default: ./build)
+set -e
+
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/tests/native/native_test"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built; run: cmake --build $BUILD_DIR --target native_test" >&2
+  exit 1
+fi
+
+LIFT_UPDATE_GOLDEN=1 "$BIN" --gtest_filter='GoldenCEmitter.*'

@@ -22,7 +22,9 @@
 
 #include "codegen/AccessAnalysis.h"
 #include "codegen/Runner.h"
+#include "ir/StructuralHash.h"
 #include "ir/TypeInference.h"
+#include "native/NativeRunner.h"
 #include "obs/Obs.h"
 #include "ocl/Emitter.h"
 #include "rewrite/Exploration.h"
@@ -58,6 +60,12 @@ int usage() {
       "               [--jobs <n>]      search the implementation space\n"
       "variant: --tile <v> [--local] [--tile-coarsen <c>] | --coarsen <c>;"
       " plus [--unroll]\n"
+      "backend (emit/run/tune): --backend <sim|native>. native emits C,\n"
+      "  compiles it with the host compiler, dlopens and executes for\n"
+      "  real; 'run' then reports wall-clock time (--warmup W untimed +\n"
+      "  --repeats R timed executions, fastest wins; --jobs = OpenMP\n"
+      "  threads), and 'tune' ranks candidates by measured seconds\n"
+      "  instead of the device model\n"
       "observability (any command): --trace=<file> (Chrome trace_event\n"
       "  JSON for chrome://tracing / ui.perfetto.dev), --metrics=<file>\n"
       "  (metrics + tuner flight records as JSON), --obs-report\n");
@@ -72,6 +80,9 @@ struct Args {
   std::string Device = "NvidiaK20c";
   bool Large = false;
   unsigned Jobs = 1;
+  std::string Backend = "sim";
+  unsigned Warmup = 1;
+  unsigned Repeats = 3;
   obs::ObsOptions Obs;
 };
 
@@ -95,6 +106,29 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
     };
     if (obs::parseObsFlag(Argv[I], A.Obs)) {
       continue;
+    } else if (Opt == "--backend" || Opt.rfind("--backend=", 0) == 0) {
+      if (Opt == "--backend") {
+        if (I + 1 >= Argc)
+          return false;
+        A.Backend = Argv[++I];
+      } else {
+        A.Backend = Opt.substr(std::strlen("--backend="));
+      }
+      if (A.Backend != "sim" && A.Backend != "native") {
+        std::fprintf(stderr, "unknown backend '%s' (sim|native)\n",
+                     A.Backend.c_str());
+        return false;
+      }
+    } else if (Opt == "--warmup") {
+      std::int64_t N = 0;
+      if (!NextInt(N) || N < 0)
+        return false;
+      A.Warmup = unsigned(N);
+    } else if (Opt == "--repeats") {
+      std::int64_t N = 0;
+      if (!NextInt(N) || N < 1)
+        return false;
+      A.Repeats = unsigned(N);
     } else if (Opt == "--jobs") {
       std::int64_t N = 0;
       if (!NextInt(N) || N < 0)
@@ -176,6 +210,44 @@ ir::Program lowerOrDie(const Benchmark &B, const BenchmarkInstance &I,
   return Low;
 }
 
+/// run --backend native: compile the emitted C, execute for real and
+/// report wall-clock time alongside the golden validation.
+int cmdRunNative(const Args &A, const Benchmark &B,
+                 const BenchmarkInstance &I, const ir::Program &Low,
+                 const Compiled &C, const Extents &E,
+                 const std::vector<std::vector<float>> &Inputs) {
+  native::NativeRunResult R;
+  try {
+    native::NativeKernelPtr Kern = native::KernelCache::global().getOrCompile(
+        ir::structuralHash(Low), C.K);
+    R = native::runNative(C, *Kern, Inputs, makeSizeEnv(I, E), A.Jobs,
+                          A.Warmup, A.Repeats);
+  } catch (const native::NativeError &Ex) {
+    std::fprintf(stderr, "error: native backend failed: %s\n", Ex.what());
+    return 1;
+  }
+
+  std::vector<float> Want = B.Golden(Inputs, E);
+  double MaxErr = 0;
+  for (std::size_t X = 0; X != Want.size(); ++X)
+    MaxErr = std::max(MaxErr, double(std::abs(R.Output[X] - Want[X])));
+
+  std::printf("variant           %s\n", A.Options.describe().c_str());
+  std::printf("backend           native (%u thread%s, %u warmup + %u "
+              "timed)\n",
+              A.Jobs, A.Jobs == 1 ? "" : "s", A.Warmup, A.Repeats);
+  std::printf("grid              ");
+  for (std::size_t D = 0; D != E.size(); ++D)
+    std::printf("%s%lld", D ? "x" : "", (long long)E[D]);
+  std::printf(" (%lld points)\n", (long long)totalElems(E));
+  std::printf("max |err| vs golden  %.3g\n", MaxErr);
+  std::printf("wall time         %.3f ms (best of %u)\n", R.Seconds * 1e3,
+              A.Repeats);
+  std::printf("throughput        %.3f GElem/s\n",
+              double(totalElems(E)) / R.Seconds / 1e9);
+  return MaxErr < 1e-3 ? 0 : 1;
+}
+
 int cmdRun(const Args &A) {
   const Benchmark &B = findBenchmark(A.Bench);
   BenchmarkInstance I = B.Build();
@@ -190,6 +262,8 @@ int cmdRun(const Args &A) {
     return 1;
   }
   std::vector<std::vector<float>> Inputs = makeBenchmarkInputs(B, E);
+  if (A.Backend == "native")
+    return cmdRunNative(A, B, I, Low, C, E, Inputs);
   RunResult R = runCompiled(C, Inputs, makeSizeEnv(I, E),
                             ocl::CacheConfig(), A.Jobs);
 
@@ -236,18 +310,47 @@ int cmdTune(const Args &A) {
 
   tuner::TuneOptions TO;
   TO.Jobs = A.Jobs;
+  const bool Measured = A.Backend == "native";
+  if (Measured) {
+    // Measured runs are serialized process-wide, so candidate-level
+    // parallelism buys nothing; --jobs becomes the per-run OpenMP
+    // thread count instead.
+    TO.Obj = tuner::Objective::Measured;
+    TO.Jobs = 1;
+    TO.MeasureThreads = A.Jobs;
+    TO.MeasureWarmup = A.Warmup;
+    TO.MeasureRepeats = A.Repeats;
+    try {
+      native::probeToolchain();
+    } catch (const native::NativeError &Ex) {
+      std::fprintf(stderr, "error: --backend native unavailable: %s\n",
+                   Ex.what());
+      return 1;
+    }
+  }
   tuner::TuneResult R = tuner::tuneStencil(P, Dev, tuner::liftSpace(), TO);
   std::sort(R.All.begin(), R.All.end(),
-            [](const tuner::Evaluated &X, const tuner::Evaluated &Y) {
-              return X.GElemsPerSec > Y.GElemsPerSec;
+            [Measured](const tuner::Evaluated &X, const tuner::Evaluated &Y) {
+              return Measured
+                         ? X.MeasuredGElemsPerSec > Y.MeasuredGElemsPerSec
+                         : X.GElemsPerSec > Y.GElemsPerSec;
             });
   std::printf("tuning %s on %s (target ", B.Name.c_str(), Dev.Name.c_str());
   for (std::size_t D = 0; D != P.Target.size(); ++D)
     std::printf("%s%lld", D ? "x" : "", (long long)P.Target[D]);
-  std::printf(")\n%-30s %12s\n", "variant", "GElem/s");
-  for (const tuner::Evaluated &E : R.All)
-    std::printf("%-30s %12.3f%s\n", E.C.describe().c_str(), E.GElemsPerSec,
-                &E == &R.All.front() ? "   <-- best" : "");
+  if (Measured) {
+    std::printf(", objective: measured wall clock)\n%-30s %14s %12s\n",
+                "variant", "meas GElem/s", "model GElem/s");
+    for (const tuner::Evaluated &E : R.All)
+      std::printf("%-30s %14.3f %12.3f%s\n", E.C.describe().c_str(),
+                  E.MeasuredGElemsPerSec, E.GElemsPerSec,
+                  &E == &R.All.front() ? "   <-- best" : "");
+  } else {
+    std::printf(")\n%-30s %12s\n", "variant", "GElem/s");
+    for (const tuner::Evaluated &E : R.All)
+      std::printf("%-30s %12.3f%s\n", E.C.describe().c_str(), E.GElemsPerSec,
+                  &E == &R.All.front() ? "   <-- best" : "");
+  }
   std::printf("pruned %llu of %zu candidates (%s), %llu memo hits\n",
               (unsigned long long)R.Prunes.total(),
               R.All.size() + std::size_t(R.Prunes.total()),
@@ -294,7 +397,10 @@ int main(int Argc, char **Argv) {
     BenchmarkInstance I = B.Build();
     ir::Program Low = lowerOrDie(B, I, A.Options);
     Compiled C = compileProgram(Low, B.Name);
-    std::printf("%s", ocl::emitOpenCL(C.K).c_str());
+    if (A.Backend == "native")
+      std::printf("%s", native::emitC(C.K).c_str());
+    else
+      std::printf("%s", ocl::emitOpenCL(C.K).c_str());
     return Done(0);
   }
 

@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzzer.h"
+#include "native/NativeRunner.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +38,8 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: liftfuzz [--seed S] [--count N] [--jobs J] [--artifact-dir D]\n"
-      "                [--no-shrink] [--no-tiled] [--self-test] [--quiet]\n"
+      "                [--no-shrink] [--no-tiled] [--native] [--self-test]\n"
+      "                [--quiet]\n"
       "\n"
       "Runs N seed-derived random stencil programs through the reference\n"
       "interpreter, random legal rewrite sequences, the sequential\n"
@@ -46,6 +48,10 @@ void usage() {
       "shrunk to minimal reproducers; with --artifact-dir each one is\n"
       "also written to a replayable artifact file.\n"
       "\n"
+      "  --native     also compile every lowered kernel to C with the\n"
+      "               host compiler, dlopen and run it, and require its\n"
+      "               output to be bit-identical to the interpreter;\n"
+      "               mismatch artifacts include the emitted C source\n"
       "  --self-test  inject a deliberately broken pad-merge rewrite and\n"
       "               verify the harness catches and shrinks it\n");
 }
@@ -94,6 +100,8 @@ int main(int Argc, char **Argv) {
       O.Shrink = false;
     else if (A == "--no-tiled")
       O.Diff.TryTiled = false;
+    else if (A == "--native")
+      O.Diff.Native = true;
     else if (A == "--self-test")
       SelfTest = true;
     else if (A == "--quiet")
@@ -110,6 +118,22 @@ int main(int Argc, char **Argv) {
 
   O.Diff.ParJobs = unsigned(Jobs);
   O.Diff.InjectBug = SelfTest;
+
+  if (O.Diff.Native) {
+    // Fail up front, with a clear message, when the machine cannot
+    // compile-and-dlopen at all — that is an environment problem, not
+    // a pipeline bug, and must not masquerade as N mismatches.
+    try {
+      lift::native::probeToolchain();
+    } catch (const lift::native::NativeError &Ex) {
+      std::fprintf(stderr,
+                   "liftfuzz: --native unavailable: %s\n"
+                   "liftfuzz: set $LIFT_NATIVE_CC or $CC to a working C "
+                   "compiler and retry\n",
+                   Ex.what());
+      return 2;
+    }
+  }
 
   CampaignStats Stats = runCampaign(Seed, unsigned(Count), O);
 
