@@ -17,13 +17,30 @@
 // about *ranking agreement and availability of a measured objective*,
 // not absolute agreement.
 //
-// Passing --json [path] emits the JSON snapshot checked in as
-// BENCH_native_backend.json. --jobs N sets the OpenMP thread count of
-// the native runs; --warmup/--repeats control the timing protocol.
+// Variants a benchmark cannot run (e.g. tiled16-local on Hotspot3D,
+// whose 8-deep outer dimension is not divisible by 16) appear as
+// "skipped" rows carrying the tuner's prune reason instead of being
+// dropped silently.
+//
+// Modes:
+//   --json [path]           the JSON snapshot checked in as
+//                           BENCH_native_backend.json
+//   --full                  run the native measurements at the paper's
+//                           target grids (4096^2, 256^3, ...) instead
+//                           of the reduced measurement grids
+//   --boundary              compare generic vs interior-specialized
+//                           native kernels (analysis/InteriorSpec.h)
+//                           instead of native vs model
+//   --boundary-json [path]  the boundary comparison as JSON (the
+//                           checked-in BENCH_native_boundary.json is
+//                           produced with --full --boundary-json)
+//   --jobs N                OpenMP thread count of the native runs
+//   --warmup/--repeats      timing protocol (untimed + timed runs)
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
+#include "analysis/InteriorSpec.h"
 #include "codegen/Runner.h"
 #include "ir/StructuralHash.h"
 #include "native/NativeRunner.h"
@@ -50,11 +67,23 @@ struct Row {
   std::string Variant;
   std::string MeasureGrid;
   std::string TargetGrid;
+  std::string Skipped; ///< non-empty: prune reason, no measurements
   double NativeMs = 0;
   double NativeGElems = 0; ///< at measurement size, on this host
   double ModeledMs = 0;
   double ModeledGElems = 0; ///< at target size, on the device model
   double MaxErr = 0;
+};
+
+/// One generic-vs-specialized comparison (--boundary mode).
+struct BoundaryRow {
+  std::string Name;
+  std::string Grid;
+  unsigned LoopsSplit = 0;
+  double GenericMs = 0;
+  double SpecializedMs = 0;
+  double Speedup = 0; ///< GenericMs / SpecializedMs
+  double MaxErr = 0;  ///< worst of the two runs vs golden
 };
 
 unsigned parseUnsigned(int Argc, char **Argv, const char *Flag,
@@ -65,6 +94,17 @@ unsigned parseUnsigned(int Argc, char **Argv, const char *Flag,
   return Default;
 }
 
+double validate(const std::vector<float> &Got,
+                const std::vector<float> &Want) {
+  double MaxErr = 0;
+  for (std::size_t X = 0; X != Want.size(); ++X)
+    MaxErr = std::max(MaxErr, double(std::abs(Got[X] - Want[X])));
+  return MaxErr;
+}
+
+const char *const BenchNames[] = {"Jacobi2D5pt", "Gaussian", "Hotspot2D",
+                                  "Jacobi3D7pt", "Heat", "Hotspot3D"};
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -73,13 +113,22 @@ int main(int argc, char **argv) {
   unsigned Warmup = parseUnsigned(argc, argv, "--warmup", 1);
   unsigned Repeats = parseUnsigned(argc, argv, "--repeats", 3);
 
-  bool Json = false;
-  std::string JsonPath;
+  bool Json = false, Full = false, Boundary = false, BoundaryJson = false;
+  std::string JsonPath, BoundaryJsonPath;
   for (int I = 1; I < argc; ++I) {
-    if (std::string(argv[I]) == "--json") {
+    std::string A = argv[I];
+    if (A == "--json") {
       Json = true;
       if (I + 1 < argc && argv[I + 1][0] != '-')
         JsonPath = argv[I + 1];
+    } else if (A == "--full") {
+      Full = true;
+    } else if (A == "--boundary") {
+      Boundary = true;
+    } else if (A == "--boundary-json") {
+      Boundary = BoundaryJson = true;
+      if (I + 1 < argc && argv[I + 1][0] != '-')
+        BoundaryJsonPath = argv[I + 1];
     }
   }
 
@@ -93,11 +142,122 @@ int main(int argc, char **argv) {
 
   ocl::DeviceSpec Dev = ocl::deviceNvidiaK20c();
 
+  //===--------------------------------------------------------------------===//
+  // --boundary: generic vs interior-specialized native wall clock.
+  //===--------------------------------------------------------------------===//
+  if (Boundary) {
+    std::vector<BoundaryRow> BRows;
+    bool AllValid = true;
+    for (const char *Name : BenchNames) {
+      const Benchmark &B = findBenchmark(Name);
+      TuningProblem P = makeProblem(B, /*LargeTarget=*/false);
+      const Extents &Grid = Full ? P.Target : P.Measure;
+      ocl::SizeEnv Env = makeSizeEnv(P.Instance, Grid);
+      std::vector<std::vector<float>> Inputs = makeBenchmarkInputs(B, Grid);
+      std::vector<float> Want = B.Golden(Inputs, Grid);
+
+      // Untiled lowering only: the specializer leaves barrier-staged
+      // tiled kernels untouched by design.
+      ir::Program Low = rewrite::lowerStencil(P.Instance.P, {});
+      codegen::Compiled Generic = codegen::compileProgram(Low, B.Name);
+      analysis::SpecStats SS;
+      codegen::Compiled Spec = Generic;
+      Spec.K = analysis::specializeInterior(Generic.K, &SS);
+
+      BoundaryRow R;
+      R.Name = Name;
+      R.Grid = extentsToString(Grid);
+      R.LoopsSplit = SS.LoopsSplit;
+      std::size_t Hash = ir::structuralHash(Low);
+      try {
+        native::NativeKernelPtr GK =
+            native::KernelCache::global().getOrCompile(Hash, Generic.K);
+        native::NativeRunResult GR = native::runNative(
+            Generic, *GK, Inputs, Env, Threads, Warmup, Repeats);
+        native::NativeKernelPtr SK =
+            native::KernelCache::global().getOrCompile(
+                Hash ^ 0xA5A5A5A5A5A5A5A5ULL, Spec.K);
+        native::NativeRunResult SR = native::runNative(
+            Spec, *SK, Inputs, Env, Threads, Warmup, Repeats);
+        R.GenericMs = GR.Seconds * 1e3;
+        R.SpecializedMs = SR.Seconds * 1e3;
+        R.Speedup = GR.Seconds / SR.Seconds;
+        R.MaxErr = std::max(validate(GR.Output, Want),
+                            validate(SR.Output, Want));
+      } catch (const native::NativeError &Ex) {
+        std::fprintf(stderr, "%s: native backend failed: %s\n", Name,
+                     Ex.what());
+        AllValid = false;
+        continue;
+      }
+      if (R.MaxErr >= 1e-3) {
+        std::fprintf(stderr, "%s: VALIDATION FAILED (max err %.3g)\n", Name,
+                     R.MaxErr);
+        AllValid = false;
+      }
+      BRows.push_back(R);
+    }
+
+    if (BoundaryJson) {
+      std::string Out =
+          "{\n\"threads\": " + std::to_string(Threads) +
+          ",\n\"warmup\": " + std::to_string(Warmup) +
+          ",\n\"repeats\": " + std::to_string(Repeats) +
+          ",\n\"grids\": \"" + (Full ? "target" : "measure") + "\"" +
+          ",\n\"benchmarks\": [\n";
+      for (std::size_t I = 0; I != BRows.size(); ++I) {
+        const BoundaryRow &R = BRows[I];
+        char Buf[512];
+        std::snprintf(
+            Buf, sizeof(Buf),
+            "  {\"name\": \"%s\", \"grid\": \"%s\", "
+            "\"loops_split\": %u, \"generic_ms\": %.4f, "
+            "\"specialized_ms\": %.4f, \"speedup\": %.4f, "
+            "\"max_err\": %.3g}",
+            R.Name.c_str(), R.Grid.c_str(), R.LoopsSplit, R.GenericMs,
+            R.SpecializedMs, R.Speedup, R.MaxErr);
+        Out += Buf;
+        Out += I + 1 == BRows.size() ? "\n" : ",\n";
+      }
+      Out += "]\n}\n";
+      if (BoundaryJsonPath.empty()) {
+        std::cout << Out;
+      } else {
+        std::ofstream OS(BoundaryJsonPath);
+        if (!OS) {
+          std::cerr << "cannot open " << BoundaryJsonPath
+                    << " for writing\n";
+          return 1;
+        }
+        OS << Out;
+      }
+    } else {
+      std::printf("Generic vs interior-specialized native kernels "
+                  "(%s grids); %u thread(s), best of %u after %u warmup\n",
+                  Full ? "target" : "measure", Threads, Repeats, Warmup);
+      printRule(86);
+      std::printf("%-12s %-14s %6s %12s %12s %9s %9s\n", "Benchmark",
+                  "Grid", "split", "generic ms", "special ms", "speedup",
+                  "max err");
+      printRule(86);
+      for (const BoundaryRow &R : BRows)
+        std::printf("%-12s %-14s %6u %12.4f %12.4f %8.2fx %9.2g\n",
+                    R.Name.c_str(), R.Grid.c_str(), R.LoopsSplit,
+                    R.GenericMs, R.SpecializedMs, R.Speedup, R.MaxErr);
+      printRule(86);
+    }
+    return AllValid ? 0 : 1;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Default: native backend vs device model, per variant.
+  //===--------------------------------------------------------------------===//
+
   // The two code shapes the backend emits: flat OpenMP-parallel loops
   // (untiled mapGlb) and work-group tiles staged through a private
   // local-memory array (tiled + local). Variants that do not satisfy a
-  // benchmark's divisibility constraints are skipped, like the tuner
-  // would prune them.
+  // benchmark's divisibility constraints appear as "skipped" rows with
+  // the tuner's prune reason.
   std::vector<Candidate> Variants(2);
   Variants[0].Options.Tile = false;
   Variants[1].Options.Tile = true;
@@ -107,25 +267,32 @@ int main(int argc, char **argv) {
   std::vector<Row> Rows;
   bool AllValid = true;
 
-  for (const char *Name : {"Jacobi2D5pt", "Gaussian", "Hotspot2D",
-                           "Jacobi3D7pt", "Heat", "Hotspot3D"}) {
+  for (const char *Name : BenchNames) {
     const Benchmark &B = findBenchmark(Name);
     TuningProblem P = makeProblem(B, /*LargeTarget=*/false);
-    ocl::SizeEnv MeasureEnv = makeSizeEnv(P.Instance, P.Measure);
-    std::vector<float> Want = B.Golden(P.Inputs, P.Measure);
+    const Extents &Grid = Full ? P.Target : P.Measure;
+    ocl::SizeEnv NativeEnv = makeSizeEnv(P.Instance, Grid);
+    std::vector<std::vector<float>> Inputs =
+        Full ? makeBenchmarkInputs(B, Grid) : P.Inputs;
+    std::vector<float> Want = B.Golden(Inputs, Grid);
 
     for (const Candidate &C : Variants) {
       Evaluated E = evaluateCandidate(P, Dev, C, /*Jobs=*/1);
-      if (!E.Valid)
-        continue; // constraint-pruned (e.g. tile does not divide)
-
-      ir::Program Low = rewrite::lowerStencil(P.Instance.P, C.Options);
-      codegen::Compiled CC = codegen::compileProgram(Low, B.Name);
       Row R;
       R.Name = Name;
       R.Variant = C.Options.describe();
-      R.MeasureGrid = extentsToString(P.Measure);
+      R.MeasureGrid = extentsToString(Grid);
       R.TargetGrid = extentsToString(P.Target);
+      if (!E.Valid) {
+        // Constraint-pruned (e.g. tile does not divide a grid extent):
+        // record why instead of dropping the row.
+        R.Skipped = E.WhyNot;
+        Rows.push_back(R);
+        continue;
+      }
+
+      ir::Program Low = rewrite::lowerStencil(P.Instance.P, C.Options);
+      codegen::Compiled CC = codegen::compileProgram(Low, B.Name);
       R.ModeledMs = E.T.Total * 1e3;
       R.ModeledGElems = E.GElemsPerSec;
       try {
@@ -133,13 +300,10 @@ int main(int argc, char **argv) {
             native::KernelCache::global().getOrCompile(
                 ir::structuralHash(Low), CC.K);
         native::NativeRunResult NR = native::runNative(
-            CC, *Kern, P.Inputs, MeasureEnv, Threads, Warmup, Repeats);
+            CC, *Kern, Inputs, NativeEnv, Threads, Warmup, Repeats);
         R.NativeMs = NR.Seconds * 1e3;
-        R.NativeGElems =
-            double(totalElems(P.Measure)) / NR.Seconds / 1e9;
-        for (std::size_t X = 0; X != Want.size(); ++X)
-          R.MaxErr = std::max(
-              R.MaxErr, double(std::abs(NR.Output[X] - Want[X])));
+        R.NativeGElems = double(totalElems(Grid)) / NR.Seconds / 1e9;
+        R.MaxErr = validate(NR.Output, Want);
       } catch (const native::NativeError &Ex) {
         std::fprintf(stderr, "%s %s: native backend failed: %s\n", Name,
                      R.Variant.c_str(), Ex.what());
@@ -164,16 +328,25 @@ int main(int argc, char **argv) {
     for (std::size_t I = 0; I != Rows.size(); ++I) {
       const Row &R = Rows[I];
       char Buf[512];
-      std::snprintf(
-          Buf, sizeof(Buf),
-          "  {\"name\": \"%s\", \"variant\": \"%s\", "
-          "\"measure_grid\": \"%s\", \"target_grid\": \"%s\", "
-          "\"native_ms\": %.4f, \"native_gelems_per_sec\": %.4f, "
-          "\"modeled_ms\": %.4f, \"modeled_gelems_per_sec\": %.4f, "
-          "\"max_err\": %.3g}",
-          R.Name.c_str(), R.Variant.c_str(), R.MeasureGrid.c_str(),
-          R.TargetGrid.c_str(), R.NativeMs, R.NativeGElems, R.ModeledMs,
-          R.ModeledGElems, R.MaxErr);
+      if (!R.Skipped.empty())
+        std::snprintf(Buf, sizeof(Buf),
+                      "  {\"name\": \"%s\", \"variant\": \"%s\", "
+                      "\"measure_grid\": \"%s\", \"target_grid\": \"%s\", "
+                      "\"skipped\": \"%s\"}",
+                      R.Name.c_str(), R.Variant.c_str(),
+                      R.MeasureGrid.c_str(), R.TargetGrid.c_str(),
+                      R.Skipped.c_str());
+      else
+        std::snprintf(
+            Buf, sizeof(Buf),
+            "  {\"name\": \"%s\", \"variant\": \"%s\", "
+            "\"measure_grid\": \"%s\", \"target_grid\": \"%s\", "
+            "\"native_ms\": %.4f, \"native_gelems_per_sec\": %.4f, "
+            "\"modeled_ms\": %.4f, \"modeled_gelems_per_sec\": %.4f, "
+            "\"max_err\": %.3g}",
+            R.Name.c_str(), R.Variant.c_str(), R.MeasureGrid.c_str(),
+            R.TargetGrid.c_str(), R.NativeMs, R.NativeGElems, R.ModeledMs,
+            R.ModeledGElems, R.MaxErr);
       Out += Buf;
       Out += I + 1 == Rows.size() ? "\n" : ",\n";
     }
@@ -197,15 +370,22 @@ int main(int argc, char **argv) {
                 "Variant", "Grid", "native ms", "nat GEl/s",
                 "model ms", "model GEl/s", "max err");
     printRule(104);
-    for (const Row &R : Rows)
+    for (const Row &R : Rows) {
+      if (!R.Skipped.empty()) {
+        std::printf("%-12s %-14s %-12s skipped (%s)\n", R.Name.c_str(),
+                    R.Variant.c_str(), R.MeasureGrid.c_str(),
+                    R.Skipped.c_str());
+        continue;
+      }
       std::printf("%-12s %-14s %-12s %11.4f %12.3f %12.3f %13.3f %9.2g\n",
                   R.Name.c_str(), R.Variant.c_str(), R.MeasureGrid.c_str(),
                   R.NativeMs, R.NativeGElems, R.ModeledMs, R.ModeledGElems,
                   R.MaxErr);
+    }
     printRule(104);
     std::printf("model times are for the %s at the paper's grid; native "
-                "times are this host at the measurement grid\n",
-                Dev.Name.c_str());
+                "times are this host at the %s grid\n",
+                Dev.Name.c_str(), Full ? "paper's target" : "measurement");
   }
 
   return AllValid ? 0 : 1;

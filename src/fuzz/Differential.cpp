@@ -6,10 +6,13 @@
 
 #include "fuzz/Fuzzer.h"
 
+#include "analysis/InteriorSpec.h"
+#include "analysis/RangeAnalysis.h"
 #include "codegen/Runner.h"
 #include "ir/StructuralHash.h"
 #include "ir/TypeInference.h"
 #include "native/NativeRunner.h"
+#include "obs/Metrics.h"
 #include "rewrite/Exploration.h"
 #include "rewrite/Lowering.h"
 
@@ -198,21 +201,32 @@ std::optional<DiffResult> checkNative(const Program &Low, const Compiled &C,
                                       const std::vector<float> &RefFlat,
                                       const BuiltProgram &B,
                                       const DiffOptions &O) {
+  const std::string L =
+      O.Specialize ? Label + " [interior-specialized]" : Label;
   try {
-    native::NativeKernelPtr Kern = native::KernelCache::global().getOrCompile(
-        ir::structuralHash(Low), C.K);
+    Compiled NC = C;
+    std::size_t Hash = ir::structuralHash(Low);
+    if (O.Specialize) {
+      // Interior/edge-specialized kernels share the cache with the
+      // generic form of the same lowering; perturb the hash so the two
+      // binaries stay distinct (source comparison resolves collisions).
+      NC.K = analysis::specializeInterior(C.K);
+      Hash ^= 0xA5A5A5A5A5A5A5A5ULL;
+    }
+    native::NativeKernelPtr Kern =
+        native::KernelCache::global().getOrCompile(Hash, NC.K);
     native::NativeRunResult NR =
-        native::runNative(C, *Kern, B.Flat, B.Sizes, O.NativeThreads);
+        native::runNative(NC, *Kern, B.Flat, B.Sizes, O.NativeThreads);
     if (firstDivergence(RefFlat, NR.Output) != -1)
-      return mismatch(mismatchReport(Label, RefFlat, NR.Output) +
+      return mismatch(mismatchReport(L, RefFlat, NR.Output) +
                       "emitted C source:\n" + Kern->source());
   } catch (const native::CompileFailedError &Ex) {
     // The emitter produced C the host compiler rejects: an emitter
     // bug, reported (and shrunk) like any other oracle failure.
-    return mismatch("oracle mismatch: " + Label + "\nnative compile failed: " +
+    return mismatch("oracle mismatch: " + L + "\nnative compile failed: " +
                     Ex.what() + "\nemitted C source:\n" + Ex.Source);
   } catch (const native::NativeError &Ex) {
-    return mismatch("oracle mismatch: " + Label +
+    return mismatch("oracle mismatch: " + L +
                     "\nnative backend failed: " + Ex.what());
   }
   return std::nullopt;
@@ -258,13 +272,32 @@ DiffResult lift::fuzz::runDifferential(const ProgramSpec &S,
   std::vector<Rule> Rules = fuzzRuleSet(O.InjectBug);
   Program Cur = B->P;
   std::vector<std::string> Applied;
+  unsigned RewriteSkips = 0;
+  unsigned BoundsUnproven = 0;
+  // Attaches the telemetry counts to whatever result the oracles
+  // produce.
+  auto Finish = [&](DiffResult R) {
+    R.RewriteSkips = RewriteSkips;
+    R.BoundsUnproven = BoundsUnproven;
+    return R;
+  };
   for (std::uint32_t Pick : S.RewritePicks) {
     std::vector<ApplicableRewrite> App =
         enumerateApplicableRewrites(Cur, Rules);
     if (App.empty())
       break;
     ApplicableRewrite Step = App[Pick % App.size()];
-    Cur = applyRewrite(Cur, Rules, Step);
+    Program Next = applyRewrite(Cur, Rules, Step);
+    // Static refutation against the concrete sizes: a splitJoin whose
+    // factor cannot divide its input length would only make the
+    // program partial. Skipping just this step (instead of discarding
+    // the whole case) keeps the remaining oracles running.
+    if (analysis::refuteSplitDivisibility(Next, B->Sizes)) {
+      ++RewriteSkips;
+      obs::Registry::global().counter("fuzz.rewrite.skip.divisibility").inc();
+      continue;
+    }
+    Cur = std::move(Next);
     Applied.push_back(Rules[Step.RuleIndex].Name);
 
     std::optional<interp::Value> Got =
@@ -277,8 +310,8 @@ DiffResult lift::fuzz::runDifferential(const ProgramSpec &S,
       std::string Names;
       for (const std::string &N : Applied)
         Names += (Names.empty() ? "" : " ") + N;
-      return discarded("rewrite sequence [" + Names +
-                       "] made the program partial: " + Err);
+      return Finish(discarded("rewrite sequence [" + Names +
+                              "] made the program partial: " + Err));
     }
     std::vector<float> GotFlat;
     interp::flattenValue(*Got, GotFlat);
@@ -286,8 +319,8 @@ DiffResult lift::fuzz::runDifferential(const ProgramSpec &S,
       std::string Names;
       for (const std::string &N : Applied)
         Names += (Names.empty() ? "" : " ") + N;
-      return mismatch(mismatchReport("rewrite sequence [" + Names + "]",
-                                     RefFlat, GotFlat));
+      return Finish(mismatch(mismatchReport(
+          "rewrite sequence [" + Names + "]", RefFlat, GotFlat)));
     }
   }
 
@@ -295,35 +328,44 @@ DiffResult lift::fuzz::runDifferential(const ProgramSpec &S,
   std::string WhyNot;
   Program Low = lowerStencil(B->P, LoweringOptions(), &WhyNot);
   if (!Low)
-    return discarded("untiled lowering does not apply: " + WhyNot);
+    return Finish(discarded("untiled lowering does not apply: " + WhyNot));
   Compiled C = compileProgram(Low, "fuzz");
   RunResult Seq = runCompiled(C, B->Flat, B->Sizes, ocl::CacheConfig(), 1);
   if (firstDivergence(RefFlat, Seq.Output) != -1)
-    return mismatch(
+    return Finish(mismatch(
         mismatchReport("sequential simulator vs interpreter", RefFlat,
-                       Seq.Output));
+                       Seq.Output)));
 
   // (d) The parallel engine must be bit-identical to the sequential
   // one in outputs *and* counters, at any job count.
   RunResult Par =
       runCompiled(C, B->Flat, B->Sizes, ocl::CacheConfig(), O.ParJobs);
   if (firstDivergence(Seq.Output, Par.Output) != -1)
-    return mismatch(mismatchReport(
+    return Finish(mismatch(mismatchReport(
         "parallel simulator (jobs=" + std::to_string(O.ParJobs) +
             ") vs sequential",
-        Seq.Output, Par.Output));
+        Seq.Output, Par.Output)));
   if (!countersEqual(Seq.Counters, Par.Counters))
-    return mismatch(
+    return Finish(mismatch(
         "oracle mismatch: parallel simulator (jobs=" +
         std::to_string(O.ParJobs) + ") counter determinism\n" +
-        counterReport(Seq.Counters, Par.Counters));
+        counterReport(Seq.Counters, Par.Counters)));
 
   // (f) Native executor: the dlopen()ed host-compiled C of the same
   // kernel must be bit-identical to the interpreter too.
+  // Static bounds check of the lowered kernel at the concrete sizes.
+  // Unproven accesses are prover-precision telemetry, not failures:
+  // the oracles above already verified the runtime behavior.
+  if (O.CheckBounds) {
+    auto V = analysis::checkKernelBounds(C.K, &B->Sizes);
+    BoundsUnproven += unsigned(V.size());
+    obs::Registry::global().counter("fuzz.bounds.unproven").inc(V.size());
+  }
+
   if (O.Native)
     if (std::optional<DiffResult> NR = checkNative(
             Low, C, "native executor vs interpreter", RefFlat, *B, O))
-      return *NR;
+      return Finish(*NR);
 
   // (e) Tiled lowering, when an exact tile fit exists.
   if (O.TryTiled) {
@@ -337,32 +379,32 @@ DiffResult lift::fuzz::runDifferential(const ProgramSpec &S,
         RunResult TSeq =
             runCompiled(TC, B->Flat, B->Sizes, ocl::CacheConfig(), 1);
         if (firstDivergence(RefFlat, TSeq.Output) != -1)
-          return mismatch(mismatchReport(
+          return Finish(mismatch(mismatchReport(
               "tiled lowering (v=" + std::to_string(V) +
                   ") vs interpreter",
-              RefFlat, TSeq.Output));
+              RefFlat, TSeq.Output)));
         RunResult TPar =
             runCompiled(TC, B->Flat, B->Sizes, ocl::CacheConfig(),
                         O.ParJobs);
         if (firstDivergence(TSeq.Output, TPar.Output) != -1 ||
             !countersEqual(TSeq.Counters, TPar.Counters))
-          return mismatch(
+          return Finish(mismatch(
               "oracle mismatch: tiled parallel simulator determinism\n" +
-              counterReport(TSeq.Counters, TPar.Counters));
+              counterReport(TSeq.Counters, TPar.Counters)));
         if (O.Native)
           if (std::optional<DiffResult> NR = checkNative(
                   TLow, TC,
                   "tiled native executor (v=" + std::to_string(V) +
                       ") vs interpreter",
                   RefFlat, *B, O))
-            return *NR;
+            return Finish(*NR);
       }
     }
   }
 
   DiffResult R;
   R.Status = DiffStatus::Ok;
-  return R;
+  return Finish(R);
 }
 
 CampaignStats lift::fuzz::runCampaign(std::uint64_t Seed, unsigned Count,
@@ -372,6 +414,8 @@ CampaignStats lift::fuzz::runCampaign(std::uint64_t Seed, unsigned Count,
     std::uint64_t SubSeed = splitmix64(Seed + I);
     ProgramSpec S = generateSpec(SubSeed);
     DiffResult R = runDifferential(S, O.Diff);
+    Stats.RewriteSkips += R.RewriteSkips;
+    Stats.BoundsUnproven += R.BoundsUnproven;
     switch (R.Status) {
     case DiffStatus::Ok:
       ++Stats.Ok;

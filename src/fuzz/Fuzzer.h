@@ -141,6 +141,18 @@ struct DiffOptions {
   /// emitted C source. Callers should gate on probeToolchain().
   bool Native = false;
   unsigned NativeThreads = 2; ///< OpenMP threads for the native oracle
+  /// Native oracle variant: run every native kernel through the
+  /// interior/edge specializer (analysis/InteriorSpec.h) first; the
+  /// specialized kernel must still be bit-identical to the
+  /// interpreter. Exercises the boundary-elimination transform on
+  /// every generated program.
+  bool Specialize = false;
+  /// Statically bounds-check every lowered kernel against the spec's
+  /// concrete sizes (analysis/RangeAnalysis.h). Accesses the prover
+  /// cannot discharge are *counted* (fuzz.bounds.unproven), not
+  /// failed: the differential oracles already verify the runtime
+  /// behavior, so this tracks prover precision, not correctness.
+  bool CheckBounds = false;
 };
 
 enum class DiffStatus {
@@ -154,6 +166,13 @@ struct DiffResult {
   /// Discard reason, or a full mismatch report (oracle name, first
   /// divergent element, both outputs).
   std::string Detail;
+  /// Rewrite steps statically refuted against the concrete sizes
+  /// (splitJoin divisibility) and skipped — the rest of the sequence
+  /// still ran, unlike a discard, which checks nothing.
+  unsigned RewriteSkips = 0;
+  /// DiffOptions::CheckBounds only: kernel accesses the static bounds
+  /// prover could not discharge at the concrete sizes.
+  unsigned BoundsUnproven = 0;
 };
 
 /// Runs one spec through all oracles. Deterministic: equal specs give
@@ -184,6 +203,11 @@ struct CampaignStats {
   unsigned Ok = 0;
   unsigned Discarded = 0;
   unsigned Mismatches = 0;
+  /// Total rewrite steps skipped after static divisibility refutation
+  /// (the programs themselves still completed, counted under Ok).
+  unsigned RewriteSkips = 0;
+  /// Total statically-unproven kernel accesses (CheckBounds only).
+  unsigned BoundsUnproven = 0;
   std::vector<CampaignFailure> Failures;
 };
 

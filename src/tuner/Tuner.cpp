@@ -6,6 +6,7 @@
 
 #include "tuner/Tuner.h"
 
+#include "analysis/RangeAnalysis.h"
 #include "codegen/Runner.h"
 #include "ir/StructuralHash.h"
 #include "native/NativeRunner.h"
@@ -60,7 +61,7 @@ TuningProblem lift::tuner::makeProblem(const Benchmark &B, bool LargeTarget) {
 std::uint64_t PruneStats::total() const {
   return TileStepMisaligned + TileIndivisible + TileCoarsenMisaligned +
          LocalMemOverflow + CoarsenIndivisible + LoweringFailed +
-         NativeFailed;
+         Divisibility + NativeFailed;
 }
 
 std::string PruneStats::describe() const {
@@ -71,6 +72,7 @@ std::string PruneStats::describe() const {
        {"local-mem-overflow", LocalMemOverflow},
        {"coarsen-indivisible", CoarsenIndivisible},
        {"lowering-failed", LoweringFailed},
+       {"divisibility", Divisibility},
        {"native-compile-failed", NativeFailed}});
 }
 
@@ -127,6 +129,7 @@ enum class PruneReason {
   LocalMemOverflow,
   CoarsenIndivisible,
   LoweringFailed,
+  Divisibility,
   NativeFailed,
 };
 
@@ -148,6 +151,8 @@ const char *pruneReasonName(PruneReason R) {
     return "coarsen-indivisible";
   case PruneReason::LoweringFailed:
     return "lowering-failed";
+  case PruneReason::Divisibility:
+    return "divisibility";
   case PruneReason::NativeFailed:
     return "native-compile-failed";
   }
@@ -301,6 +306,15 @@ Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
   auto MeasureEnv = makeSizeEnv(I, P.Measure);
   auto TargetEnv = makeSizeEnv(I, P.Target);
 
+  // Static refutation: a split whose factor provably cannot divide its
+  // input length at either grid would only fail later, inside the
+  // simulator — discard it here and record why.
+  if (analysis::refuteSplitDivisibility(Low, MeasureEnv) ||
+      analysis::refuteSplitDivisibility(Low, TargetEnv)) {
+    Why = PruneReason::Divisibility;
+    return R;
+  }
+
   ExecCounters Counters;
   NDRangeInfo ND;
   EvalMemo::Entry *Ent = nullptr;
@@ -373,6 +387,8 @@ Evaluated evalInstrumented(const TuningProblem &P, const DeviceSpec &Dev,
   CandSpan.arg("variant", C.describe());
   auto T0 = std::chrono::steady_clock::now();
   Evaluated R = evalImpl(P, Dev, C, Opts, Memo, Why, Rec);
+  if (!R.Valid)
+    R.WhyNot = pruneReasonName(Why);
   double WallUs = std::chrono::duration<double, std::micro>(
                       std::chrono::steady_clock::now() - T0)
                       .count();
@@ -427,7 +443,7 @@ TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
   for (const char *Name :
        {"tile-step-misaligned", "tile-indivisible", "tile-coarsen-misaligned",
         "local-mem-overflow", "coarsen-indivisible", "lowering-failed",
-        "native-compile-failed"})
+        "divisibility", "native-compile-failed"})
     Reg.counter(std::string("tuner.prune.") + Name);
 
   std::vector<Candidate> Candidates;
@@ -529,6 +545,9 @@ TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
       break;
     case PruneReason::LoweringFailed:
       ++Result.Prunes.LoweringFailed;
+      break;
+    case PruneReason::Divisibility:
+      ++Result.Prunes.Divisibility;
       break;
     case PruneReason::NativeFailed:
       ++Result.Prunes.NativeFailed;

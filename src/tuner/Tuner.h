@@ -105,6 +105,11 @@ struct Evaluated {
   Candidate C;
   ocl::Timing T;
   bool Valid = false;
+  /// Valid == false only: the stable prune-reason name (the same
+  /// string used by the "tuner.prune.<name>" metrics), so callers can
+  /// report *why* a configuration is absent instead of dropping it
+  /// silently.
+  std::string WhyNot;
   /// True when the simulation was shared with an earlier structurally
   /// identical candidate instead of being executed again.
   bool FromMemo = false;
@@ -128,6 +133,7 @@ struct PruneStats {
   std::uint64_t LocalMemOverflow = 0;     ///< staged tile exceeds local mem
   std::uint64_t CoarsenIndivisible = 0;   ///< coarsening does not divide grid
   std::uint64_t LoweringFailed = 0;       ///< rewrite produced no program
+  std::uint64_t Divisibility = 0; ///< split factor refuted against a grid size
   std::uint64_t NativeFailed = 0; ///< measured objective: native backend failed
   std::uint64_t total() const;
   /// e.g. "tile-indivisible=12, local-mem-overflow=3".

@@ -69,15 +69,18 @@ TEST(FuzzDifferential, FixedSeedSweepAllOraclesAgree) {
   EXPECT_GT(Stats.Ok, 190u);
 }
 
-TEST(FuzzDifferential, RewriteOnSymbolicLengthDiscardsNotFails) {
+TEST(FuzzDifferential, RewriteOnSymbolicLengthSkipsNotDiscards) {
   // seed 42+289 (see runCampaign's splitmix64 derivation) is a known
   // spec where splitJoin(2) applies to a symbolic length bound to 5 at
-  // runtime: the rewritten program is partial at these sizes. That
-  // must surface as a discard with a divisibility message, never as a
-  // mismatch or a crash.
-  bool SawDiscard = false;
+  // runtime: the rewritten program would be partial at these sizes.
+  // Such steps used to surface as whole-program discards (nothing
+  // checked); the static divisibility refutation
+  // (analysis::refuteSplitDivisibility) now rejects just the offending
+  // step, so the spec must complete Ok with RewriteSkips recorded —
+  // never a discard, a mismatch or a crash.
+  bool SawSkip = false;
   DiffOptions O;
-  for (unsigned I = 0; I != 400 && !SawDiscard; ++I) {
+  for (unsigned I = 0; I != 400 && !SawSkip; ++I) {
     std::uint64_t X = 42 + I;
     X += 0x9e3779b97f4a7c15ULL;
     X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -86,13 +89,15 @@ TEST(FuzzDifferential, RewriteOnSymbolicLengthDiscardsNotFails) {
     DiffResult R = runDifferential(S, O);
     ASSERT_NE(R.Status, DiffStatus::Mismatch)
         << describeSpec(S) << R.Detail;
-    if (R.Status == DiffStatus::Discarded) {
-      SawDiscard = true;
-      EXPECT_NE(R.Detail.find("evenly divide"), std::string::npos)
-          << R.Detail;
+    EXPECT_NE(R.Status, DiffStatus::Discarded)
+        << "divisibility must be refuted statically, not discarded: "
+        << describeSpec(S) << R.Detail;
+    if (R.RewriteSkips > 0) {
+      SawSkip = true;
+      EXPECT_EQ(R.Status, DiffStatus::Ok) << R.Detail;
     }
   }
-  EXPECT_TRUE(SawDiscard);
+  EXPECT_TRUE(SawSkip);
 }
 
 TEST(FuzzDifferential, EnumeratedRewritesPreserveInterpreterSemantics) {

@@ -17,6 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/InteriorSpec.h"
 #include "codegen/CodeGen.h"
 #include "native/CEmitter.h"
 #include "rewrite/Lowering.h"
@@ -114,6 +115,26 @@ TEST(GoldenCEmitter, Stencil2DTiledLocalSequential) {
   native::CEmitOptions Seq;
   Seq.OpenMP = false;
   checkGolden("stencil2d_tiled_local_seq.c", native::emitC(C.K, Seq));
+}
+
+// The interior/edge specialization (analysis/InteriorSpec.h) as plain
+// C: each grid loop split into a left-edge loop keeping the clamp
+// arithmetic, a clamp-free interior loop, and a right-edge loop. The
+// snapshot makes the transform's output reviewable as a .c diff —
+// in particular that the interior loop body carries no min/max index
+// clamping while the edge loops keep the general path.
+TEST(GoldenCEmitter, Jacobi2D5ptGlobalSpecialized) {
+  const Benchmark &B = findBenchmark("Jacobi2D5pt");
+  BenchmarkInstance I = B.Build();
+  LoweringOptions O;
+  std::string WhyNot;
+  ir::Program Low = lowerStencil(I.P, O, &WhyNot);
+  ASSERT_TRUE(bool(Low)) << WhyNot;
+  codegen::Compiled C = codegen::compileProgram(Low, B.Name);
+  analysis::SpecStats S;
+  ocl::Kernel K = analysis::specializeInterior(C.K, &S);
+  ASSERT_EQ(S.LoopsSplit, 2u) << "both grid loops should split";
+  checkGolden("jacobi2d5pt_global_specialized.c", native::emitC(K));
 }
 
 // Determinism contract behind both the golden files and the kernel

@@ -20,6 +20,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/InteriorSpec.h"
+#include "analysis/RangeAnalysis.h"
 #include "codegen/AccessAnalysis.h"
 #include "codegen/Runner.h"
 #include "ir/StructuralHash.h"
@@ -66,6 +68,11 @@ int usage() {
       "  --repeats R timed executions, fastest wins; --jobs = OpenMP\n"
       "  threads), and 'tune' ranks candidates by measured seconds\n"
       "  instead of the device model\n"
+      "analysis (emit/run): --specialize splits each grid loop into\n"
+"  left-edge / clamp-free-interior / right-edge loops before emitting\n"
+"  or running; --check-bounds statically proves every buffer access\n"
+"  in bounds (prints a violation report and exits 1 otherwise; 'run'\n"
+"  and --extents make the check concrete, plain 'emit' is symbolic)\n"
       "observability (any command): --trace=<file> (Chrome trace_event\n"
       "  JSON for chrome://tracing / ui.perfetto.dev), --metrics=<file>\n"
       "  (metrics + tuner flight records as JSON), --obs-report\n");
@@ -83,6 +90,8 @@ struct Args {
   std::string Backend = "sim";
   unsigned Warmup = 1;
   unsigned Repeats = 3;
+  bool Specialize = false;
+  bool CheckBounds = false;
   obs::ObsOptions Obs;
 };
 
@@ -148,6 +157,10 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
     } else if (Opt == "--tile-coarsen") {
       if (!NextInt(A.Options.TileCoarsen))
         return false;
+    } else if (Opt == "--specialize") {
+      A.Specialize = true;
+    } else if (Opt == "--check-bounds") {
+      A.CheckBounds = true;
     } else if (Opt == "--large") {
       A.Large = true;
     } else if (Opt == "--device") {
@@ -210,6 +223,37 @@ ir::Program lowerOrDie(const Benchmark &B, const BenchmarkInstance &I,
   return Low;
 }
 
+/// Applies --specialize and --check-bounds to a compiled kernel, in
+/// that order (the check sees what will actually run). Returns false —
+/// with the violation report already printed — when the bounds check
+/// cannot discharge every access; \p Sizes null means a fully symbolic
+/// check.
+bool applyAnalysis(const Args &A, Compiled &C,
+                   const std::unordered_map<unsigned, std::int64_t> *Sizes) {
+  if (A.Specialize) {
+    analysis::SpecStats S;
+    C.K = analysis::specializeInterior(C.K, &S);
+    std::fprintf(stderr,
+                 "specialize: split %u grid loop%s, resolved %u pad "
+                 "select%s\n",
+                 S.LoopsSplit, S.LoopsSplit == 1 ? "" : "s",
+                 S.SelectsResolved, S.SelectsResolved == 1 ? "" : "s");
+  }
+  if (A.CheckBounds) {
+    std::vector<analysis::BoundsViolation> V =
+        analysis::checkKernelBounds(C.K, Sizes);
+    if (!V.empty()) {
+      std::fprintf(stderr, "%s", analysis::describeViolations(V).c_str());
+      std::fprintf(stderr,
+                   "check-bounds: %zu access%s not provably in bounds\n",
+                   V.size(), V.size() == 1 ? "" : "es");
+      return false;
+    }
+    std::fprintf(stderr, "check-bounds: all accesses provably in bounds\n");
+  }
+  return true;
+}
+
 /// run --backend native: compile the emitted C, execute for real and
 /// report wall-clock time alongside the golden validation.
 int cmdRunNative(const Args &A, const Benchmark &B,
@@ -218,8 +262,13 @@ int cmdRunNative(const Args &A, const Benchmark &B,
                  const std::vector<std::vector<float>> &Inputs) {
   native::NativeRunResult R;
   try {
-    native::NativeKernelPtr Kern = native::KernelCache::global().getOrCompile(
-        ir::structuralHash(Low), C.K);
+    // Specialized kernels get a distinct cache identity: same lowered
+    // program, different C source.
+    std::size_t Hash = ir::structuralHash(Low);
+    if (A.Specialize)
+      Hash ^= 0xA5A5A5A5A5A5A5A5ULL;
+    native::NativeKernelPtr Kern =
+        native::KernelCache::global().getOrCompile(Hash, C.K);
     R = native::runNative(C, *Kern, Inputs, makeSizeEnv(I, E), A.Jobs,
                           A.Warmup, A.Repeats);
   } catch (const native::NativeError &Ex) {
@@ -261,11 +310,13 @@ int cmdRun(const Args &A) {
                  B.Dims);
     return 1;
   }
+  auto Env = makeSizeEnv(I, E);
+  if (!applyAnalysis(A, C, &Env))
+    return 1;
   std::vector<std::vector<float>> Inputs = makeBenchmarkInputs(B, E);
   if (A.Backend == "native")
     return cmdRunNative(A, B, I, Low, C, E, Inputs);
-  RunResult R = runCompiled(C, Inputs, makeSizeEnv(I, E),
-                            ocl::CacheConfig(), A.Jobs);
+  RunResult R = runCompiled(C, Inputs, Env, ocl::CacheConfig(), A.Jobs);
 
   // Validate against the independent golden implementation.
   std::vector<float> Want = B.Golden(Inputs, E);
@@ -397,6 +448,19 @@ int main(int Argc, char **Argv) {
     BenchmarkInstance I = B.Build();
     ir::Program Low = lowerOrDie(B, I, A.Options);
     Compiled C = compileProgram(Low, B.Name);
+    std::unordered_map<unsigned, std::int64_t> Env;
+    const std::unordered_map<unsigned, std::int64_t> *Sizes = nullptr;
+    if (!A.ExtentsOverride.empty()) {
+      if (A.ExtentsOverride.size() != B.Dims) {
+        std::fprintf(stderr, "error: %s needs %u extents\n",
+                     B.Name.c_str(), B.Dims);
+        return Done(1);
+      }
+      Env = makeSizeEnv(I, A.ExtentsOverride);
+      Sizes = &Env;
+    }
+    if (!applyAnalysis(A, C, Sizes))
+      return Done(1);
     if (A.Backend == "native")
       std::printf("%s", native::emitC(C.K).c_str());
     else

@@ -30,6 +30,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/Obs.h"
+
 using namespace lift::fuzz;
 
 namespace {
@@ -38,8 +40,8 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: liftfuzz [--seed S] [--count N] [--jobs J] [--artifact-dir D]\n"
-      "                [--no-shrink] [--no-tiled] [--native] [--self-test]\n"
-      "                [--quiet]\n"
+      "                [--no-shrink] [--no-tiled] [--native] [--specialize]\n"
+      "                [--check-bounds] [--self-test] [--quiet]\n"
       "\n"
       "Runs N seed-derived random stencil programs through the reference\n"
       "interpreter, random legal rewrite sequences, the sequential\n"
@@ -52,6 +54,12 @@ void usage() {
       "               host compiler, dlopen and run it, and require its\n"
       "               output to be bit-identical to the interpreter;\n"
       "               mismatch artifacts include the emitted C source\n"
+      "  --specialize run every native kernel through the interior/edge\n"
+      "               specializer first (implies nothing else; combine\n"
+      "               with --native); outputs must stay bit-identical\n"
+      "  --check-bounds\n"
+      "               statically bounds-check every lowered kernel at the\n"
+      "               concrete sizes; unprovable accesses are mismatches\n"
       "  --self-test  inject a deliberately broken pad-merge rewrite and\n"
       "               verify the harness catches and shrinks it\n");
 }
@@ -74,9 +82,12 @@ int main(int Argc, char **Argv) {
   CampaignOptions O;
   bool SelfTest = false;
   bool Quiet = false;
+  lift::obs::ObsOptions ObsOpts;
 
   for (int I = 1; I != Argc; ++I) {
     std::string A = Argv[I];
+    if (lift::obs::parseObsFlag(Argv[I], ObsOpts))
+      continue;
     auto Value = [&](std::uint64_t &Out) {
       if (I + 1 == Argc || !parseU64(Argv[++I], Out)) {
         std::fprintf(stderr, "liftfuzz: %s needs an integer argument\n",
@@ -102,6 +113,10 @@ int main(int Argc, char **Argv) {
       O.Diff.TryTiled = false;
     else if (A == "--native")
       O.Diff.Native = true;
+    else if (A == "--specialize")
+      O.Diff.Specialize = true;
+    else if (A == "--check-bounds")
+      O.Diff.CheckBounds = true;
     else if (A == "--self-test")
       SelfTest = true;
     else if (A == "--quiet")
@@ -135,14 +150,21 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  lift::obs::ObsSession ObsSession(ObsOpts);
   CampaignStats Stats = runCampaign(Seed, unsigned(Count), O);
 
   if (!Quiet)
+  {
+    std::string Extra;
+    if (O.Diff.CheckBounds)
+      Extra = " bounds-unproven=" + std::to_string(Stats.BoundsUnproven);
     std::printf("liftfuzz: seed=%llu count=%llu ok=%u discarded=%u "
-                "mismatches=%u%s\n",
+                "mismatches=%u skipped-rewrites=%u%s%s\n",
                 (unsigned long long)Seed, (unsigned long long)Count,
                 Stats.Ok, Stats.Discarded, Stats.Mismatches,
+                Stats.RewriteSkips, Extra.c_str(),
                 SelfTest ? " (self-test: bug injected)" : "");
+  }
 
   for (const CampaignFailure &F : Stats.Failures) {
     std::fprintf(stderr, "\n=== mismatch (spec seed %llu) ===\n%s\n%s",
