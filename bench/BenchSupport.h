@@ -14,6 +14,7 @@
 #ifndef LIFT_BENCH_BENCHSUPPORT_H
 #define LIFT_BENCH_BENCHSUPPORT_H
 
+#include "obs/Json.h"
 #include "obs/Obs.h"
 #include "stencil/Benchmarks.h"
 
@@ -21,6 +22,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace lift {
 namespace bench {
@@ -60,6 +65,55 @@ inline unsigned parseJobs(int Argc, char **Argv, unsigned Default = 0) {
 /// main; finish() at the end (or the destructor) writes the files.
 inline obs::ObsSession obsSessionFromArgs(int Argc, char **Argv) {
   return obs::ObsSession(obs::parseObsOptions(Argc, Argv));
+}
+
+/// Build/host provenance for --json snapshot outputs: compiler
+/// version and flags, CPU model and hostname, so a snapshot records
+/// *who* produced the numbers. Returns a serialized JSON object;
+/// harnesses embed it under a "meta" key. tools/bench_diff skips the
+/// block when comparing (host identity is not a perf metric).
+inline std::string benchMetaJson() {
+  using obs::json::Value;
+  Value M = Value::makeObject();
+#ifdef __VERSION__
+  M.set("compiler", Value::string(__VERSION__));
+#else
+  M.set("compiler", Value::string("unknown"));
+#endif
+#ifdef LIFT_BENCH_CXX_FLAGS
+  M.set("cxx_flags", Value::string(LIFT_BENCH_CXX_FLAGS));
+#endif
+#ifdef LIFT_BENCH_BUILD_TYPE
+  M.set("build_type", Value::string(LIFT_BENCH_BUILD_TYPE));
+#endif
+  std::string Cpu = "unknown";
+  if (std::FILE *F = std::fopen("/proc/cpuinfo", "r")) {
+    char Line[512];
+    while (std::fgets(Line, sizeof(Line), F)) {
+      if (std::strncmp(Line, "model name", 10) == 0) {
+        if (const char *Colon = std::strchr(Line, ':')) {
+          Cpu = Colon + 1;
+          while (!Cpu.empty() && (Cpu.front() == ' ' || Cpu.front() == '\t'))
+            Cpu.erase(Cpu.begin());
+          while (!Cpu.empty() &&
+                 (Cpu.back() == '\n' || Cpu.back() == '\r' ||
+                  Cpu.back() == ' '))
+            Cpu.pop_back();
+        }
+        break;
+      }
+    }
+    std::fclose(F);
+  }
+  M.set("cpu", Value::string(Cpu));
+  std::string Host = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+  char Buf[256] = {};
+  if (gethostname(Buf, sizeof(Buf) - 1) == 0 && Buf[0])
+    Host = Buf;
+#endif
+  M.set("hostname", Value::string(Host));
+  return M.serialize();
 }
 
 } // namespace bench

@@ -200,7 +200,8 @@ int main(int argc, char **argv) {
 
     if (BoundaryJson) {
       std::string Out =
-          "{\n\"threads\": " + std::to_string(Threads) +
+          "{\n\"meta\": " + benchMetaJson() +
+          ",\n\"threads\": " + std::to_string(Threads) +
           ",\n\"warmup\": " + std::to_string(Warmup) +
           ",\n\"repeats\": " + std::to_string(Repeats) +
           ",\n\"grids\": \"" + (Full ? "target" : "measure") + "\"" +
@@ -320,7 +321,8 @@ int main(int argc, char **argv) {
   }
 
   if (Json) {
-    std::string Out = "{\n\"device_model\": \"" + Dev.Name + "\"" +
+    std::string Out = "{\n\"meta\": " + benchMetaJson() +
+                      ",\n\"device_model\": \"" + Dev.Name + "\"" +
                       ",\n\"threads\": " + std::to_string(Threads) +
                       ",\n\"warmup\": " + std::to_string(Warmup) +
                       ",\n\"repeats\": " + std::to_string(Repeats) +

@@ -26,12 +26,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+#include "obs/Clock.h"
 #include "obs/Metrics.h"
 #include "obs/Obs.h"
 #include "obs/Trace.h"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -100,6 +103,24 @@ void BM_CounterInc(benchmark::State &State) {
 }
 BENCHMARK(BM_CounterInc);
 
+// The clock seam (obs/Clock.h) is one relaxed atomic load plus the
+// same steady_clock query the code would make directly; the two must
+// be within noise of each other or the runner/profiler timing paths
+// pay for their testability.
+void BM_ChronoSteadyNow(benchmark::State &State) {
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(std::chrono::steady_clock::now());
+  }
+}
+BENCHMARK(BM_ChronoSteadyNow);
+
+void BM_ClockSeamNow(benchmark::State &State) {
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(obs::monotonicNowNs());
+  }
+}
+BENCHMARK(BM_ClockSeamNow);
+
 /// Same compact JSON summary as the other microbench harnesses.
 class CompactJsonReporter : public benchmark::BenchmarkReporter {
 public:
@@ -120,7 +141,8 @@ public:
   }
 
   void Finalize() override {
-    OS << "{\n\"benchmarks\": [\n";
+    OS << "{\n\"meta\": " << lift::bench::benchMetaJson() << ",\n"
+       << "\"benchmarks\": [\n";
     for (std::size_t I = 0; I != Lines.size(); ++I)
       OS << Lines[I] << (I + 1 == Lines.size() ? "\n" : ",\n");
     OS << "]\n}\n";

@@ -17,6 +17,7 @@
 
 #include "obs/Obs.h"
 #include "rewrite/Exploration.h"
+#include "BenchSupport.h"
 #include "rewrite/Lowering.h"
 #include "stencil/Benchmarks.h"
 #include "stencil/StencilOps.h"
@@ -162,7 +163,8 @@ public:
   }
 
   void Finalize() override {
-    OS << "{\n\"benchmarks\": [\n";
+    OS << "{\n\"meta\": " << lift::bench::benchMetaJson() << ",\n"
+       << "\"benchmarks\": [\n";
     for (std::size_t I = 0; I != Lines.size(); ++I)
       OS << Lines[I] << (I + 1 == Lines.size() ? "\n" : ",\n");
     OS << "]\n}\n";

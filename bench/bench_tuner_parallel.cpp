@@ -100,7 +100,8 @@ int main(int argc, char **argv) {
   if (Json) {
     // Both sweeps rank by the device model; a measured-objective sweep
     // (tuner::Objective::Measured) would say "measured" here.
-    std::string Out = "{\n\"jobs\": " + std::to_string(Jobs) +
+    std::string Out = "{\n\"meta\": " + benchMetaJson() +
+                      ",\n\"jobs\": " + std::to_string(Jobs) +
                       ",\n\"objective\": \"modeled\"" + ",\n\"sweeps\": [\n";
     for (std::size_t I = 0; I != Rows.size(); ++I) {
       const Row &R = Rows[I];

@@ -184,3 +184,169 @@ AccessReport lift::codegen::analyzeAccesses(const Kernel &K,
   Analyzer A(K, Sizes);
   return A.run();
 }
+
+//===----------------------------------------------------------------------===//
+// Static region work counts
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Evaluates \p E under \p Env without touching loop variables that
+/// are not bound; false when any such variable appears. Loop trip
+/// counts in generated kernels only reference size variables, so this
+/// normally succeeds — the fallible form keeps malformed input from
+/// turning a report into a fatal error.
+bool tryEval(const AExpr &E, const SizeEnv &Env, std::int64_t &Out) {
+  switch (E->getKind()) {
+  case ArithExpr::Kind::Cst:
+    Out = E->getCst();
+    return true;
+  case ArithExpr::Kind::Var: {
+    auto It = Env.find(E->getVarId());
+    if (It == Env.end())
+      return false;
+    Out = It->second;
+    return true;
+  }
+  case ArithExpr::Kind::Add:
+  case ArithExpr::Kind::Mul: {
+    bool IsAdd = E->getKind() == ArithExpr::Kind::Add;
+    std::int64_t Acc = IsAdd ? 0 : 1;
+    for (const AExpr &Op : E->getOperands()) {
+      std::int64_t V;
+      if (!tryEval(Op, Env, V))
+        return false;
+      Acc = IsAdd ? Acc + V : Acc * V;
+    }
+    Out = Acc;
+    return true;
+  }
+  case ArithExpr::Kind::Div:
+  case ArithExpr::Kind::Mod:
+  case ArithExpr::Kind::Min:
+  case ArithExpr::Kind::Max: {
+    std::int64_t A, B;
+    if (!tryEval(E->getOperands()[0], Env, A) ||
+        !tryEval(E->getOperands()[1], Env, B))
+      return false;
+    switch (E->getKind()) {
+    case ArithExpr::Kind::Div:
+      if (B == 0)
+        return false;
+      Out = floorDivInt(A, B);
+      return true;
+    case ArithExpr::Kind::Mod:
+      if (B == 0)
+        return false;
+      Out = floorModInt(A, B);
+      return true;
+    case ArithExpr::Kind::Min:
+      Out = A < B ? A : B;
+      return true;
+    default:
+      Out = A > B ? A : B;
+      return true;
+    }
+  }
+  }
+  unreachable("covered switch");
+}
+
+std::uint64_t tripCount(const Stmt &Loop, const SizeEnv &Env) {
+  std::int64_t N = 0;
+  if (!tryEval(Loop.Count, Env, N) || N < 0)
+    return 0;
+  return std::uint64_t(N);
+}
+
+class WorkCounter {
+public:
+  WorkCounter(const Kernel &K, const SizeEnv &Env) : K(K), Env(Env) {}
+
+  RegionWork count(const Stmt &Root, std::uint64_t OuterMult) {
+    Work.Iterations = tripCount(Root, Env);
+    walkStmt(Root, OuterMult);
+    return Work;
+  }
+
+private:
+  void walkStmt(const Stmt &S, std::uint64_t Mult) {
+    switch (S.K) {
+    case Stmt::Kind::Store:
+      if (K.buffer(S.BufferId).Space == MemSpace::Global)
+        Work.BytesWritten += 4 * Mult;
+      walkExpr(*S.Value, Mult);
+      return;
+    case Stmt::Kind::AssignVar:
+      walkExpr(*S.Value, Mult);
+      return;
+    case Stmt::Kind::Loop: {
+      std::uint64_t Inner = Mult * tripCount(S, Env);
+      for (const StmtPtr &C : S.Body)
+        walkStmt(*C, Inner);
+      return;
+    }
+    case Stmt::Kind::Barrier:
+      return;
+    }
+  }
+
+  void walkExpr(const KExpr &E, std::uint64_t Mult) {
+    switch (E.K) {
+    case KExpr::Kind::Load:
+      if (K.buffer(E.BufferId).Space == MemSpace::Global)
+        Work.BytesRead += 4 * Mult;
+      return;
+    case KExpr::Kind::CallUF:
+      Work.Flops += std::uint64_t(E.UF->getFlopCost()) * Mult;
+      for (const KExprPtr &A : E.Args)
+        walkExpr(*A, Mult);
+      return;
+    case KExpr::Kind::Select:
+      // Count the in-bounds branch on every lane (see header comment).
+      walkExpr(*E.Then, Mult);
+      return;
+    case KExpr::Kind::ConstScalar:
+    case KExpr::Kind::IndexVal:
+    case KExpr::Kind::ReadVar:
+      return;
+    }
+  }
+
+  const Kernel &K;
+  const SizeEnv &Env;
+  RegionWork Work;
+};
+
+/// Product of the trip counts of every loop strictly enclosing
+/// \p Target, or false when \p Target is not in this statement tree.
+bool enclosingMult(const std::vector<StmtPtr> &Body, const Stmt *Target,
+                   const SizeEnv &Env, std::uint64_t &Mult) {
+  for (const StmtPtr &S : Body) {
+    if (S.get() == Target)
+      return true;
+    if (S->K != Stmt::Kind::Loop)
+      continue;
+    std::uint64_t Here = Mult;
+    Mult *= tripCount(*S, Env);
+    if (enclosingMult(S->Body, Target, Env, Mult))
+      return true;
+    Mult = Here;
+  }
+  return false;
+}
+
+} // namespace
+
+RegionWork lift::codegen::staticRegionWork(const Kernel &K,
+                                           const Stmt &RegionRoot,
+                                           const SizeEnv &Sizes) {
+  std::uint64_t Mult = 1;
+  if (!enclosingMult(K.Body, &RegionRoot, Sizes, Mult))
+    fatalError("staticRegionWork: region root is not a statement of the "
+               "kernel");
+  WorkCounter C(K, Sizes);
+  RegionWork W = C.count(RegionRoot, Mult);
+  W.Iterations *= Mult;
+  return W;
+}

@@ -68,6 +68,30 @@ struct AccessReport {
 AccessReport analyzeAccesses(const ocl::Kernel &K,
                              const ocl::SizeEnv &Sizes);
 
+/// Statically derived work of one loop-nest region, counted over the
+/// full iteration space with concrete sizes (the per-region
+/// denominators of the native profiler's roofline report).
+struct RegionWork {
+  std::uint64_t Iterations = 0;   ///< trip count of the region's root loop
+  std::uint64_t BytesRead = 0;    ///< global-memory bytes loaded
+  std::uint64_t BytesWritten = 0; ///< global-memory bytes stored
+  std::uint64_t Flops = 0;        ///< user-function applications, weighted
+                                  ///< by UserFun::getFlopCost()
+};
+
+/// Counts the static work under \p RegionRoot (a loop of \p K,
+/// possibly nested — enclosing loop trip counts multiply in). Only
+/// global-space accesses count toward bytes: local/private staging
+/// traffic is deliberately excluded so arithmetic intensity is
+/// DRAM-relative, the roofline convention. Both scalar kinds are 4
+/// bytes. For bounds-checked Select expressions the then-branch (the
+/// in-bounds load) is counted on every lane — an over-approximation at
+/// edges that is exact in the interior. Loop counts that cannot be
+/// evaluated under \p Sizes contribute zero.
+RegionWork staticRegionWork(const ocl::Kernel &K,
+                            const ocl::Stmt &RegionRoot,
+                            const ocl::SizeEnv &Sizes);
+
 } // namespace codegen
 } // namespace lift
 

@@ -58,7 +58,8 @@ public:
           "sizeof",   "static",  "struct",   "switch", "typedef",  "union",
           "unsigned", "void",    "volatile", "while",  "lift_bufs",
           "lift_sizes", "lift_threads", "lift_fdiv", "lift_fmod", "lift_min",
-          "lift_max", "lift_i",  "int32_t",  "sqrt",   "fmax",     "fmin"})
+          "lift_max", "lift_i",  "int32_t",  "sqrt",   "fmax",     "fmin",
+          "lift_prof", "lift_prof_now", "lift_t0"})
       Used.insert(R);
   }
 
@@ -247,7 +248,8 @@ private:
 
 class Printer {
 public:
-  Printer(const Kernel &K, const CEmitOptions &O) : K(K), Plan(makePlan(O)) {
+  Printer(const Kernel &K, const CEmitOptions &O)
+      : K(K), Profile(O.Profile), Plan(makePlan(O)) {
     // Claim names in a fixed order: buffers, registers, size args,
     // loop variables (in syntactic order), so renames on collision are
     // deterministic.
@@ -260,13 +262,21 @@ public:
     for (const StmtPtr &S : K.Body)
       claimLoopVars(*S);
     EntryName = Names.claim(K.Name);
+    if (Profile) {
+      std::vector<KernelRegion> Regions = profileRegions(K);
+      for (std::size_t I = 0; I != Regions.size(); ++I)
+        RegionIdx[Regions[I].Loop] = {I, Regions[I].Name};
+    }
   }
 
   std::string run();
 
 private:
   ParPlan makePlan(const CEmitOptions &O) {
-    return PlanBuilder(K, O.OpenMP).take();
+    // Profiling forces sequential emission: region timers nested in a
+    // parallel loop would race and attribute one thread's clock to the
+    // whole grid.
+    return PlanBuilder(K, O.OpenMP && !O.Profile).take();
   }
 
   void claimLoopVars(const Stmt &S) {
@@ -292,11 +302,15 @@ private:
   void printStmts(const std::vector<StmtPtr> &Body);
 
   const Kernel &K;
+  bool Profile;
   ParPlan Plan;
   NameMap Names;
   std::string EntryName;
   std::string Out;
   int Indent = 0;
+  /// Profile mode: region root -> (lift_prof slot, region name).
+  std::unordered_map<const Stmt *, std::pair<std::size_t, std::string>>
+      RegionIdx;
 };
 
 std::string Printer::renderIndex(const AExpr &E) const {
@@ -424,6 +438,14 @@ void Printer::printStmt(const Stmt &S) {
     break;
   }
 
+  auto Region = RegionIdx.end();
+  if (Profile && (Region = RegionIdx.find(&S)) != RegionIdx.end()) {
+    line("{ /* region " + std::to_string(Region->second.first) + ": " +
+         Region->second.second + " */");
+    ++Indent;
+    line("const double lift_t0 = lift_prof_now();");
+  }
+
   bool IsRoot = Plan.Parallel && Plan.Roots.count(&S);
   if (IsRoot)
     line("#pragma omp parallel for schedule(static) "
@@ -448,6 +470,13 @@ void Printer::printStmt(const Stmt &S) {
   printStmts(S.Body);
   --Indent;
   line("}");
+
+  if (Region != RegionIdx.end()) {
+    line("lift_prof[" + std::to_string(Region->second.first) +
+         "] += lift_prof_now() - lift_t0;");
+    --Indent;
+    line("}");
+  }
 }
 
 void Printer::printStmts(const std::vector<StmtPtr> &Body) {
@@ -461,7 +490,10 @@ std::string Printer::run() {
   Out += "// (all loops run 0..count-1; floor division; exact float\n";
   Out += "// literals; float-precision math builtins).\n\n";
   Out += "#include <math.h>\n";
-  Out += "#include <stdint.h>\n\n";
+  Out += "#include <stdint.h>\n";
+  if (Profile)
+    Out += "#include <time.h>\n";
+  Out += "\n";
   // OpenCL's sqrt/fmax/fmin on float stay in float; C promotes to
   // double. Map them to the float-precision versions the interpreter's
   // C++ callbacks (std::sqrt(float) etc.) compile to.
@@ -485,7 +517,18 @@ std::string Printer::run() {
   Out += "}\n";
   Out += "static inline long long lift_max(long long a, long long b) {\n";
   Out += "  return a > b ? a : b;\n";
-  Out += "}\n\n";
+  Out += "}\n";
+  if (Profile) {
+    // The region timer: the same monotonic clock the runner times whole
+    // kernels with, read as seconds so accumulation stays a single add.
+    Out += "static inline double lift_prof_now(void) {\n";
+    Out += "  struct timespec lift_ts;\n";
+    Out += "  clock_gettime(CLOCK_MONOTONIC, &lift_ts);\n";
+    Out += "  return (double)lift_ts.tv_sec + 1e-9 * "
+           "(double)lift_ts.tv_nsec;\n";
+    Out += "}\n";
+  }
+  Out += "\n";
 
   for (const ir::UserFunPtr &UF : K.UserFuns) {
     std::string Sig = "static ";
@@ -506,7 +549,9 @@ std::string Printer::run() {
 
   Out += "void " + EntryName +
          "(void **lift_bufs, const long long *lift_sizes, "
-         "int lift_threads) {\n";
+         "int lift_threads" +
+         (Profile ? std::string(", double *lift_prof") : std::string()) +
+         ") {\n";
   Indent = 1;
   std::size_t Slot = 0;
   for (const BufferDecl &B : K.Buffers) {
@@ -531,6 +576,49 @@ std::string Printer::run() {
 }
 
 } // namespace
+
+std::vector<KernelRegion> lift::native::profileRegions(const Kernel &K) {
+  std::vector<KernelRegion> Out;
+  std::unordered_set<std::string> UsedNames;
+  auto Add = [&](const Stmt &Loop) {
+    KernelRegion R;
+    R.Kind = loopKindName(Loop.LK);
+    std::string Base = R.Kind + "." + Loop.LoopVar->getVarName();
+    R.Name = Base;
+    for (unsigned N = 2; !UsedNames.insert(R.Name).second; ++N)
+      R.Name = Base + "_" + std::to_string(N);
+    R.Loop = &Loop;
+    Out.push_back(std::move(R));
+  };
+  auto IsPar = [](const Stmt &S) {
+    return S.LK == LoopKind::Glb || S.LK == LoopKind::Wrg;
+  };
+
+  for (const StmtPtr &Top : K.Body) {
+    if (Top->K != Stmt::Kind::Loop)
+      continue;
+    // Walk the grid spine: consecutive Glb/Wrg loops whose body is a
+    // single nested Glb/Wrg loop (the NDRange dimensions).
+    const Stmt *Cur = Top.get();
+    while (IsPar(*Cur) && Cur->Body.size() == 1 &&
+           Cur->Body[0]->K == Stmt::Kind::Loop && IsPar(*Cur->Body[0]))
+      Cur = Cur->Body[0].get();
+    // A grid whose innermost spine loop carries several sub-loops
+    // (tile fill / compute / reduce) gets one region per sub-loop;
+    // everything else is a single whole-nest region.
+    std::vector<const Stmt *> Subloops;
+    if (IsPar(*Cur))
+      for (const StmtPtr &C : Cur->Body)
+        if (C->K == Stmt::Kind::Loop)
+          Subloops.push_back(C.get());
+    if (Subloops.size() >= 2)
+      for (const Stmt *L : Subloops)
+        Add(*L);
+    else
+      Add(*Top);
+  }
+  return Out;
+}
 
 std::string lift::native::emitC(const Kernel &K, const CEmitOptions &O) {
   return Printer(K, O).run();

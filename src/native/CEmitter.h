@@ -46,6 +46,19 @@
 /// alpha-equivalent kernels (equal structural hash) share one ABI —
 /// the property the compiled-kernel cache relies on.
 ///
+/// Profile mode (CEmitOptions::Profile) appends one parameter:
+///
+///   void <name>(void **lift_bufs, const long long *lift_sizes,
+///               int lift_threads, double *lift_prof);
+///
+/// and wraps each profile region (profileRegions()) in monotonic-clock
+/// timers that *accumulate* elapsed seconds into lift_prof[k], k being
+/// the region's index in profileRegions() order. The computation is
+/// untouched — outputs stay bit-identical to the unprofiled kernel —
+/// but pragmas are suppressed (sequential execution) so nested region
+/// timers measure exactly one thread's work and attribution is exact;
+/// lift_threads is accordingly inert under profiling.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LIFT_NATIVE_CEMITTER_H
@@ -54,6 +67,7 @@
 #include "ocl/KernelAst.h"
 
 #include <string>
+#include <vector>
 
 namespace lift {
 namespace native {
@@ -64,7 +78,30 @@ struct CEmitOptions {
   /// compiled without -fopenmp, so disabling this only pins the
   /// golden-source tests of the sequential shape.
   bool OpenMP = true;
+  /// Instrument profile regions with timers and extend the ABI with a
+  /// `double *lift_prof` accumulator array (see file comment). Forces
+  /// sequential emission.
+  bool Profile = false;
 };
+
+/// One instrumentable loop-nest region of a kernel. Regions partition
+/// the interesting work: every top-level loop nest is one region,
+/// except that when a spine of singleton Glb/Wrg loops (the NDRange
+/// grid) ends in a body with several sub-loops (local-tile fill,
+/// compute/reduce loops), each of those sub-loops becomes its own
+/// region — the shape tiled+local-memory lowerings produce.
+struct KernelRegion {
+  /// Deterministic name: "<kind>.<loop var>", e.g. "glb.i0", "lcl.i4"
+  /// (deduplicated with numeric suffixes if loop-var names repeat).
+  std::string Name;
+  std::string Kind; ///< loopKindName of the region root
+  const ocl::Stmt *Loop = nullptr; ///< the loop the timer wraps
+};
+
+/// The profile regions of \p K, in the order their timers index
+/// lift_prof[]. A pure function of the kernel structure — the emitter
+/// and the runtime report derive the same list independently.
+std::vector<KernelRegion> profileRegions(const ocl::Kernel &K);
 
 /// Renders \p K as a self-contained C translation unit. The output is
 /// deterministic: equal kernels produce byte-identical source (the

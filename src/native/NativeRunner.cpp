@@ -6,6 +6,7 @@
 
 #include "native/NativeRunner.h"
 
+#include "obs/Clock.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -13,7 +14,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include <chrono>
+#include <algorithm>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -190,12 +191,34 @@ std::string lift::native::findCompiler(const NativeOptions &O) {
       "$CC, cc, gcc, clang); set LIFT_NATIVE_CC or install one");
 }
 
-NativeKernel::NativeKernel(void *Handle, EntryFn Entry, std::string Source)
-    : Handle(Handle), Entry(Entry), Source(std::move(Source)) {}
+NativeKernel::NativeKernel(void *Handle, void *Sym, bool Profiled,
+                           std::string Source)
+    : Handle(Handle), Sym(Sym), Profiled(Profiled),
+      Source(std::move(Source)) {}
 
 NativeKernel::~NativeKernel() {
   if (Handle)
     ::dlclose(Handle);
+}
+
+NativeKernel::EntryFn NativeKernel::entry() const {
+  if (Profiled)
+    fatalError("native backend: profiled kernel called through the "
+               "unprofiled entry ABI");
+  EntryFn F;
+  static_assert(sizeof(F) == sizeof(Sym), "function pointer size");
+  std::memcpy(&F, &Sym, sizeof(F));
+  return F;
+}
+
+NativeKernel::ProfiledEntryFn NativeKernel::profiledEntry() const {
+  if (!Profiled)
+    fatalError("native backend: unprofiled kernel called through the "
+               "profiled entry ABI");
+  ProfiledEntryFn F;
+  static_assert(sizeof(F) == sizeof(Sym), "function pointer size");
+  std::memcpy(&F, &Sym, sizeof(F));
+  return F;
 }
 
 NativeKernelPtr lift::native::compileCSource(const std::string &Source,
@@ -246,17 +269,18 @@ NativeKernelPtr lift::native::compileCSource(const std::string &Source,
         (E ? std::string(" (") + E + ")" : std::string()));
   }
   obs::Registry::global().counter("native.compiles").inc();
-  NativeKernel::EntryFn Entry;
-  static_assert(sizeof(Entry) == sizeof(Sym), "function pointer size");
-  std::memcpy(&Entry, &Sym, sizeof(Entry));
+  // The signature line tells the ABI apart: profile-mode sources take
+  // the extra lift_prof accumulator parameter.
+  bool Profiled = Source.find(", double *lift_prof)") != std::string::npos;
   // TempDir now removes source and object; the mapping stays valid.
-  return std::make_shared<NativeKernel>(Handle, Entry, Source);
+  return std::make_shared<NativeKernel>(Handle, Sym, Profiled, Source);
 }
 
 NativeKernelPtr lift::native::compileKernel(const ocl::Kernel &K,
                                             const NativeOptions &O) {
   CEmitOptions EO;
   EO.OpenMP = O.EmitOpenMP;
+  EO.Profile = O.Profile;
   std::string Source = emitC(K, EO);
   return compileCSource(Source, entryNameFromSource(Source), O);
 }
@@ -289,6 +313,7 @@ NativeKernelPtr KernelCache::getOrCompile(std::uint64_t LoweredHash,
                                           const NativeOptions &O) {
   CEmitOptions EO;
   EO.OpenMP = O.EmitOpenMP;
+  EO.Profile = O.Profile;
   std::string Source = emitC(K, EO);
 
   std::shared_ptr<Entry> E;
@@ -371,12 +396,100 @@ void lift::native::probeToolchain(const NativeOptions &O) {
   Probe->entry()(Dummy, Sz, 1);
 }
 
+namespace {
+
+/// Storage and arguments of one native execution, shared by the plain
+/// and the profiled runner.
+struct BoundRun {
+  std::vector<std::vector<float>> FloatStore;
+  std::vector<std::vector<std::int32_t>> IntStore;
+  std::vector<void *> Ptrs;
+  std::vector<long long> SizeVals;
+
+  std::vector<float> takeOutput(const codegen::Compiled &C) {
+    const BufferDecl &OutB = C.K.buffer(C.OutputBufferId);
+    std::size_t OutIdx = std::size_t(OutB.Id);
+    if (OutB.ElemKind == ir::ScalarKind::Float)
+      return std::move(FloatStore[OutIdx]);
+    std::vector<float> Out(IntStore[OutIdx].size());
+    for (std::size_t I = 0; I != Out.size(); ++I)
+      Out[I] = float(IntStore[OutIdx][I]);
+    return Out;
+  }
+};
+
+/// Allocates global buffers (zero-initialized exactly like the
+/// simulator's fresh storage), binds inputs with the simulator
+/// runner's conventions (Executor::bindInput) and resolves size
+/// arguments.
+BoundRun bindRun(const codegen::Compiled &C,
+                 const std::vector<std::vector<float>> &Inputs,
+                 const SizeEnv &Sizes) {
+  if (Inputs.size() != C.InputBufferIds.size())
+    fatalError("runNative: input count mismatch");
+  const Kernel &K = C.K;
+  BoundRun R;
+  R.FloatStore.resize(K.Buffers.size());
+  R.IntStore.resize(K.Buffers.size());
+  for (const BufferDecl &B : K.Buffers) {
+    if (B.Space != MemSpace::Global)
+      continue;
+    std::int64_t N = B.NumElems->evaluate(Sizes);
+    if (N < 0)
+      fatalError("runNative: negative buffer extent for " + B.Name);
+    std::size_t Idx = std::size_t(B.Id);
+    if (B.ElemKind == ir::ScalarKind::Float) {
+      R.FloatStore[Idx].assign(std::size_t(N), 0.0f);
+      R.Ptrs.push_back(R.FloatStore[Idx].data());
+    } else {
+      R.IntStore[Idx].assign(std::size_t(N), 0);
+      R.Ptrs.push_back(R.IntStore[Idx].data());
+    }
+  }
+
+  for (std::size_t I = 0; I != Inputs.size(); ++I) {
+    const BufferDecl &B = K.buffer(C.InputBufferIds[I]);
+    std::size_t Idx = std::size_t(B.Id);
+    if (B.ElemKind == ir::ScalarKind::Float) {
+      if (Inputs[I].size() != R.FloatStore[Idx].size())
+        fatalError("runNative: size mismatch for buffer " + B.Name +
+                   " (got " + std::to_string(Inputs[I].size()) + ", want " +
+                   std::to_string(R.FloatStore[Idx].size()) + ")");
+      R.FloatStore[Idx] = Inputs[I];
+    } else {
+      if (Inputs[I].size() != R.IntStore[Idx].size())
+        fatalError("runNative: size mismatch for int buffer " + B.Name);
+      for (std::size_t J = 0; J != Inputs[I].size(); ++J)
+        R.IntStore[Idx][J] = std::int32_t(Inputs[I][J]);
+    }
+  }
+
+  for (const auto &SA : K.SizeArgs) {
+    auto It = Sizes.find(SA.first);
+    if (It == Sizes.end())
+      fatalError("runNative: unbound size variable " + SA.second);
+    R.SizeVals.push_back((long long)It->second);
+  }
+  // The entry dereferences lift_sizes[0] layout only up to SizeArgs
+  // entries; keep the pointer valid even for zero size args.
+  if (R.SizeVals.empty())
+    R.SizeVals.push_back(0);
+  return R;
+}
+
+/// Serializes timed sections process-wide so concurrent candidate
+/// evaluations cannot contaminate each other's wall clock.
+std::mutex &measureMutex() {
+  static std::mutex M;
+  return M;
+}
+
+} // namespace
+
 NativeRunResult lift::native::runNative(
     const codegen::Compiled &C, const NativeKernel &Kern,
     const std::vector<std::vector<float>> &Inputs, const SizeEnv &Sizes,
     unsigned Threads, unsigned Warmup, unsigned Repeats) {
-  if (Inputs.size() != C.InputBufferIds.size())
-    fatalError("runNative: input count mismatch");
   if (Repeats == 0)
     Repeats = 1;
   if (Threads == 0) {
@@ -388,73 +501,19 @@ NativeRunResult lift::native::runNative(
   RunSpan.arg("kernel", C.K.Name);
   RunSpan.arg("threads", std::int64_t(Threads));
 
-  // Allocate one storage block per *global* buffer, zero-initialized
-  // exactly like the simulator's fresh storage.
-  const Kernel &K = C.K;
-  std::vector<std::vector<float>> FloatStore(K.Buffers.size());
-  std::vector<std::vector<std::int32_t>> IntStore(K.Buffers.size());
-  std::vector<void *> Ptrs;
-  for (const BufferDecl &B : K.Buffers) {
-    if (B.Space != MemSpace::Global)
-      continue;
-    std::int64_t N = B.NumElems->evaluate(Sizes);
-    if (N < 0)
-      fatalError("runNative: negative buffer extent for " + B.Name);
-    std::size_t Idx = std::size_t(B.Id);
-    if (B.ElemKind == ir::ScalarKind::Float) {
-      FloatStore[Idx].assign(std::size_t(N), 0.0f);
-      Ptrs.push_back(FloatStore[Idx].data());
-    } else {
-      IntStore[Idx].assign(std::size_t(N), 0);
-      Ptrs.push_back(IntStore[Idx].data());
-    }
-  }
-
-  // Bind inputs with the simulator's conventions (Executor::bindInput).
-  for (std::size_t I = 0; I != Inputs.size(); ++I) {
-    const BufferDecl &B = K.buffer(C.InputBufferIds[I]);
-    std::size_t Idx = std::size_t(B.Id);
-    if (B.ElemKind == ir::ScalarKind::Float) {
-      if (Inputs[I].size() != FloatStore[Idx].size())
-        fatalError("runNative: size mismatch for buffer " + B.Name +
-                   " (got " + std::to_string(Inputs[I].size()) + ", want " +
-                   std::to_string(FloatStore[Idx].size()) + ")");
-      FloatStore[Idx] = Inputs[I];
-    } else {
-      if (Inputs[I].size() != IntStore[Idx].size())
-        fatalError("runNative: size mismatch for int buffer " + B.Name);
-      for (std::size_t J = 0; J != Inputs[I].size(); ++J)
-        IntStore[Idx][J] = std::int32_t(Inputs[I][J]);
-    }
-  }
-
-  std::vector<long long> SizeVals;
-  for (const auto &SA : K.SizeArgs) {
-    auto It = Sizes.find(SA.first);
-    if (It == Sizes.end())
-      fatalError("runNative: unbound size variable " + SA.second);
-    SizeVals.push_back((long long)It->second);
-  }
-  // The entry dereferences lift_sizes[0] layout only up to SizeArgs
-  // entries; keep the pointer valid even for zero size args.
-  if (SizeVals.empty())
-    SizeVals.push_back(0);
+  BoundRun Bound = bindRun(C, Inputs, Sizes);
 
   NativeRunResult R;
   {
-    // Serialize timed sections process-wide so concurrent candidate
-    // evaluations cannot contaminate each other's wall clock.
-    static std::mutex MeasureMutex;
-    std::lock_guard<std::mutex> Lock(MeasureMutex);
+    std::lock_guard<std::mutex> Lock(measureMutex());
     for (unsigned I = 0; I != Warmup; ++I)
-      Kern.entry()(Ptrs.data(), SizeVals.data(), int(Threads));
+      Kern.entry()(Bound.Ptrs.data(), Bound.SizeVals.data(), int(Threads));
     double Best = 0;
     for (unsigned I = 0; I != Repeats; ++I) {
-      auto T0 = std::chrono::steady_clock::now();
-      Kern.entry()(Ptrs.data(), SizeVals.data(), int(Threads));
-      double S = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - T0)
-                     .count();
+      // Timed through the obs clock seam so tests can fake the clock.
+      std::uint64_t T0 = obs::monotonicNowNs();
+      Kern.entry()(Bound.Ptrs.data(), Bound.SizeVals.data(), int(Threads));
+      double S = double(obs::monotonicNowNs() - T0) * 1e-9;
       if (I == 0 || S < Best)
         Best = S;
     }
@@ -462,14 +521,46 @@ NativeRunResult lift::native::runNative(
   }
   obs::Registry::global().counter("native.runs").inc();
 
-  const BufferDecl &OutB = K.buffer(C.OutputBufferId);
-  std::size_t OutIdx = std::size_t(OutB.Id);
-  if (OutB.ElemKind == ir::ScalarKind::Float) {
-    R.Output = FloatStore[OutIdx];
-  } else {
-    R.Output.resize(IntStore[OutIdx].size());
-    for (std::size_t I = 0; I != R.Output.size(); ++I)
-      R.Output[I] = float(IntStore[OutIdx][I]);
-  }
+  R.Output = Bound.takeOutput(C);
   return R;
+}
+
+NativeProfiledResult lift::native::runNativeProfiled(
+    const codegen::Compiled &C, const NativeKernel &Kern,
+    const std::vector<std::vector<float>> &Inputs, const SizeEnv &Sizes,
+    std::size_t NumRegions, unsigned Warmup, unsigned Repeats) {
+  if (Repeats == 0)
+    Repeats = 1;
+
+  obs::Span RunSpan("native.run.profiled", "native");
+  RunSpan.arg("kernel", C.K.Name);
+
+  BoundRun Bound = bindRun(C, Inputs, Sizes);
+  NativeKernel::ProfiledEntryFn Entry = Kern.profiledEntry();
+
+  NativeProfiledResult Out;
+  std::vector<double> Prof(NumRegions ? NumRegions : 1, 0.0);
+  {
+    std::lock_guard<std::mutex> Lock(measureMutex());
+    for (unsigned I = 0; I != Warmup; ++I)
+      Entry(Bound.Ptrs.data(), Bound.SizeVals.data(), 1, Prof.data());
+    double Best = 0;
+    for (unsigned I = 0; I != Repeats; ++I) {
+      // The emitted timers accumulate; zero the slots per repeat so
+      // the kept vector belongs to exactly one (the fastest) run.
+      std::fill(Prof.begin(), Prof.end(), 0.0);
+      std::uint64_t T0 = obs::monotonicNowNs();
+      Entry(Bound.Ptrs.data(), Bound.SizeVals.data(), 1, Prof.data());
+      double S = double(obs::monotonicNowNs() - T0) * 1e-9;
+      if (I == 0 || S < Best) {
+        Best = S;
+        Out.RegionSeconds.assign(Prof.begin(), Prof.begin() + NumRegions);
+      }
+    }
+    Out.R.Seconds = Best;
+  }
+  obs::Registry::global().counter("native.runs.profiled").inc();
+
+  Out.R.Output = Bound.takeOutput(C);
+  return Out;
 }

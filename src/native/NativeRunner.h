@@ -97,6 +97,12 @@ struct NativeOptions {
   bool KeepTemps = false;
   /// Disable `#pragma omp` emission entirely (sequential source).
   bool EmitOpenMP = true;
+  /// Emit with CEmitOptions::Profile: region timers, the extended
+  /// `double *lift_prof` ABI, sequential execution. Profiled and
+  /// unprofiled compilations of the same lowering coexist in the
+  /// kernel cache (the emitted source differs, which is part of the
+  /// cache key).
+  bool Profile = false;
 };
 
 /// Resolves the compiler per NativeOptions::CompilerPath; throws
@@ -120,19 +126,28 @@ public:
   /// The positional ABI emitted by CEmitter.
   using EntryFn = void (*)(void **Bufs, const long long *Sizes,
                            int Threads);
+  /// The extended profile-mode ABI (CEmitOptions::Profile): \p Prof
+  /// points at one double per profile region, accumulated into.
+  using ProfiledEntryFn = void (*)(void **Bufs, const long long *Sizes,
+                                   int Threads, double *Prof);
 
-  NativeKernel(void *Handle, EntryFn Entry, std::string Source);
+  NativeKernel(void *Handle, void *Sym, bool Profiled, std::string Source);
   ~NativeKernel();
   NativeKernel(const NativeKernel &) = delete;
   NativeKernel &operator=(const NativeKernel &) = delete;
 
-  EntryFn entry() const { return Entry; }
+  /// True when the kernel was emitted in profile mode and must be
+  /// called through profiledEntry().
+  bool profiled() const { return Profiled; }
+  EntryFn entry() const;
+  ProfiledEntryFn profiledEntry() const;
   /// The emitted C source (kept for mismatch artifacts / debugging).
   const std::string &source() const { return Source; }
 
 private:
   void *Handle = nullptr;
-  EntryFn Entry = nullptr;
+  void *Sym = nullptr;
+  bool Profiled = false;
   std::string Source;
 };
 
@@ -214,6 +229,21 @@ NativeRunResult runNative(const codegen::Compiled &C,
                           const std::vector<std::vector<float>> &Inputs,
                           const ocl::SizeEnv &Sizes, unsigned Threads = 1,
                           unsigned Warmup = 0, unsigned Repeats = 1);
+
+/// runNative for a profile-mode kernel: additionally returns the
+/// per-region accumulated seconds (profileRegions() order) of the
+/// fastest repeat. \p NumRegions must equal profileRegions().size()
+/// for the kernel — the emitted code writes exactly that many slots.
+/// Profiled kernels execute sequentially by construction.
+struct NativeProfiledResult {
+  NativeRunResult R;
+  std::vector<double> RegionSeconds;
+};
+NativeProfiledResult
+runNativeProfiled(const codegen::Compiled &C, const NativeKernel &Kern,
+                  const std::vector<std::vector<float>> &Inputs,
+                  const ocl::SizeEnv &Sizes, std::size_t NumRegions,
+                  unsigned Warmup = 0, unsigned Repeats = 1);
 
 } // namespace native
 } // namespace lift

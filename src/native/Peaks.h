@@ -1,0 +1,47 @@
+//===- Peaks.h - STREAM-style machine peak probe ---------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Probes the host's practical performance ceilings for the roofline
+/// lines of profile reports: sustainable memory bandwidth via a
+/// STREAM-triad sweep (a[i] = b[i] + s*c[i] over arrays far larger
+/// than cache) and float arithmetic throughput via independent
+/// multiply-add chains the compiler is free to vectorize. These are
+/// achievable-by-ordinary-code peaks, not datasheet numbers — exactly
+/// the ceilings an emitted stencil kernel competes against.
+///
+/// Probing takes tens of milliseconds and is only invoked on explicit
+/// profile runs; pass the result into the profiler or leave peaks at
+/// zero to skip the roofline columns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_NATIVE_PEAKS_H
+#define LIFT_NATIVE_PEAKS_H
+
+#include <cstddef>
+
+namespace lift {
+namespace native {
+
+struct MachinePeaks {
+  double GBPerSec = 0;     ///< sustainable triad bandwidth
+  double GFlopsPerSec = 0; ///< float multiply-add throughput
+};
+
+/// Runs both microbenchmarks. \p Elems is the per-array element count
+/// of the triad (default 8M floats = 96 MB of traffic per pass, far
+/// beyond any cache); the best of \p Repeats passes is reported.
+/// Deliberately reads the real steady clock, not the obs clock seam:
+/// a faked clock would make "peak hardware speed" meaningless.
+MachinePeaks probeMachinePeaks(std::size_t Elems = std::size_t(8) << 20,
+                               int Repeats = 3);
+
+} // namespace native
+} // namespace lift
+
+#endif // LIFT_NATIVE_PEAKS_H

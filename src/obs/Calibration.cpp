@@ -1,0 +1,164 @@
+//===- Calibration.cpp - Cost model vs. wall clock --------------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+using namespace lift;
+using namespace lift::obs;
+
+double CalibrationPair::relativeError() const {
+  if (MeasuredSeconds <= 0)
+    return 0.0;
+  return std::fabs(ModeledSeconds - MeasuredSeconds) / MeasuredSeconds;
+}
+
+namespace {
+
+/// Average ranks (1-based; ties share the mean of their positions).
+std::vector<double> averageRanks(const std::vector<double> &V) {
+  std::vector<std::size_t> Order(V.size());
+  std::iota(Order.begin(), Order.end(), std::size_t(0));
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](std::size_t A, std::size_t B) { return V[A] < V[B]; });
+  std::vector<double> Ranks(V.size(), 0.0);
+  std::size_t I = 0;
+  while (I < Order.size()) {
+    std::size_t J = I;
+    while (J + 1 < Order.size() && V[Order[J + 1]] == V[Order[I]])
+      ++J;
+    double Mean = (double(I + 1) + double(J + 1)) / 2.0;
+    for (std::size_t K = I; K <= J; ++K)
+      Ranks[Order[K]] = Mean;
+    I = J + 1;
+  }
+  return Ranks;
+}
+
+} // namespace
+
+double lift::obs::spearmanRho(const std::vector<double> &A,
+                              const std::vector<double> &B) {
+  if (A.size() != B.size() || A.size() < 2)
+    return 1.0;
+  std::vector<double> RA = averageRanks(A);
+  std::vector<double> RB = averageRanks(B);
+  double N = double(RA.size());
+  double MA = 0, MB = 0;
+  for (std::size_t I = 0; I != RA.size(); ++I) {
+    MA += RA[I];
+    MB += RB[I];
+  }
+  MA /= N;
+  MB /= N;
+  double Cov = 0, VarA = 0, VarB = 0;
+  for (std::size_t I = 0; I != RA.size(); ++I) {
+    double DA = RA[I] - MA, DB = RB[I] - MB;
+    Cov += DA * DB;
+    VarA += DA * DA;
+    VarB += DB * DB;
+  }
+  // A constant side (all-ties) carries no ordering information;
+  // reporting perfect correlation keeps the degenerate one-variant
+  // sweep from looking like a calibration failure.
+  if (VarA <= 0 || VarB <= 0)
+    return 1.0;
+  return Cov / std::sqrt(VarA * VarB);
+}
+
+CalibrationReport lift::obs::calibrate(std::string Label,
+                                       std::vector<CalibrationPair> Pairs) {
+  CalibrationReport R;
+  R.Label = std::move(Label);
+  R.Pairs = std::move(Pairs);
+  if (R.Pairs.empty())
+    return R;
+
+  std::vector<double> Modeled, Measured;
+  Modeled.reserve(R.Pairs.size());
+  Measured.reserve(R.Pairs.size());
+  std::size_t BestMod = 0, BestMeas = 0;
+  double ErrSum = 0;
+  for (std::size_t I = 0; I != R.Pairs.size(); ++I) {
+    const CalibrationPair &P = R.Pairs[I];
+    Modeled.push_back(P.ModeledSeconds);
+    Measured.push_back(P.MeasuredSeconds);
+    ErrSum += P.relativeError();
+    if (P.ModeledSeconds < R.Pairs[BestMod].ModeledSeconds)
+      BestMod = I;
+    if (P.MeasuredSeconds < R.Pairs[BestMeas].MeasuredSeconds)
+      BestMeas = I;
+  }
+  R.SpearmanRho = spearmanRho(Modeled, Measured);
+  R.MeanRelativeError = ErrSum / double(R.Pairs.size());
+  R.ModeledBest = R.Pairs[BestMod].Variant;
+  R.MeasuredBest = R.Pairs[BestMeas].Variant;
+  R.ArgminAgreement = BestMod == BestMeas;
+  return R;
+}
+
+CalibrationReport
+lift::obs::calibrateLog(const FlightRecorder::TuneLog &Log) {
+  std::vector<CalibrationPair> Pairs;
+  for (const CandidateRecord &C : Log.Records) {
+    if (!C.Valid || C.MeasuredTime <= 0 || C.PredictedTime <= 0)
+      continue;
+    CalibrationPair P;
+    P.Variant = C.Variant;
+    P.ModeledSeconds = C.PredictedTime;
+    P.MeasuredSeconds = C.MeasuredTime;
+    Pairs.push_back(std::move(P));
+  }
+  return calibrate(Log.Label, std::move(Pairs));
+}
+
+json::Value CalibrationReport::toJson() const {
+  json::Value Doc = json::Value::makeObject();
+  Doc.set("label", json::Value::string(Label));
+  json::Value Arr = json::Value::makeArray();
+  for (const CalibrationPair &P : Pairs) {
+    json::Value O = json::Value::makeObject();
+    O.set("variant", json::Value::string(P.Variant));
+    O.set("modeled_seconds", json::Value::number(P.ModeledSeconds));
+    O.set("measured_seconds", json::Value::number(P.MeasuredSeconds));
+    O.set("relative_error", json::Value::number(P.relativeError()));
+    Arr.push(std::move(O));
+  }
+  Doc.set("pairs", std::move(Arr));
+  Doc.set("spearman_rho", json::Value::number(SpearmanRho));
+  Doc.set("mean_relative_error", json::Value::number(MeanRelativeError));
+  Doc.set("modeled_best", json::Value::string(ModeledBest));
+  Doc.set("measured_best", json::Value::string(MeasuredBest));
+  Doc.set("argmin_agreement", json::Value::boolean(ArgminAgreement));
+  return Doc;
+}
+
+std::string CalibrationReport::toText() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "calibration %s: %zu pairs, spearman rho %.3f, mean relative "
+                "error %.2fx, argmin %s (modeled %s vs measured %s)\n",
+                Label.c_str(), Pairs.size(), SpearmanRho, MeanRelativeError,
+                ArgminAgreement ? "agrees" : "DISAGREES", ModeledBest.c_str(),
+                MeasuredBest.c_str());
+  return Buf;
+}
+
+std::string lift::obs::calibrationDocumentJson() {
+  json::Value Doc = json::Value::makeObject();
+  json::Value Sweeps = json::Value::makeArray();
+  for (const FlightRecorder::TuneLog &Log : FlightRecorder::global().logs()) {
+    CalibrationReport R = calibrateLog(Log);
+    if (!R.Pairs.empty())
+      Sweeps.push(R.toJson());
+  }
+  Doc.set("sweeps", std::move(Sweeps));
+  return Doc.serialize() + "\n";
+}

@@ -1,0 +1,89 @@
+//===- Calibration.h - Cost model vs. wall clock ---------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Joins the flight recorder's per-candidate (modeled time, measured
+/// time) pairs from a measured-objective tuning sweep into a
+/// calibration report: per-variant relative error, Spearman rank
+/// correlation between the two orderings, and whether the analytical
+/// argmin picks the same winner as the wall clock. This is the direct
+/// input for the ROADMAP's guided-search item — a cost model only
+/// needs to *rank* candidates correctly for the search to trust it, so
+/// rank correlation and argmin agreement are the headline numbers, and
+/// the per-pair relative error shows where the model's absolute scale
+/// drifts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_OBS_CALIBRATION_H
+#define LIFT_OBS_CALIBRATION_H
+
+#include "obs/FlightRecorder.h"
+#include "obs/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace obs {
+
+/// One candidate evaluated under both objectives.
+struct CalibrationPair {
+  std::string Variant;
+  double ModeledSeconds = 0;
+  double MeasuredSeconds = 0;
+
+  /// |modeled - measured| / measured (0 when measured is 0).
+  double relativeError() const;
+};
+
+/// The joined report over one tuning sweep.
+struct CalibrationReport {
+  std::string Label;
+  std::vector<CalibrationPair> Pairs;
+  /// Spearman rank correlation of modeled vs. measured orderings
+  /// (average ranks on ties); 1 for fewer than two pairs.
+  double SpearmanRho = 1.0;
+  double MeanRelativeError = 0.0;
+  /// Variant with the smallest modeled / measured time (first on
+  /// ties, matching the tuner's argmin tie-break).
+  std::string ModeledBest;
+  std::string MeasuredBest;
+  bool ArgminAgreement = true;
+
+  /// {"label","pairs":[{"variant","modeled_seconds","measured_seconds",
+  ///  "relative_error"}],"spearman_rho","mean_relative_error",
+  ///  "modeled_best","measured_best","argmin_agreement"}.
+  json::Value toJson() const;
+  /// One-paragraph human-readable summary.
+  std::string toText() const;
+};
+
+/// Computes rho/error/argmin fields over \p Pairs.
+CalibrationReport calibrate(std::string Label,
+                            std::vector<CalibrationPair> Pairs);
+
+/// Extracts the (modeled, measured) pairs of a measured-objective
+/// sweep log. Candidates without both times (pruned, or a modeled-only
+/// sweep) contribute nothing; an empty report means the log carried no
+/// calibration signal.
+CalibrationReport calibrateLog(const FlightRecorder::TuneLog &Log);
+
+/// Spearman rank correlation with average-rank tie handling. Returns
+/// 1.0 when fewer than two samples or either side is constant-rank
+/// degenerate in a way that leaves the correlation undefined.
+double spearmanRho(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Calibration reports for every recorded sweep that carries measured
+/// times, serialized as {"sweeps":[...]} — the calibration.json
+/// document written by ObsSession for --calibration=<file>.
+std::string calibrationDocumentJson();
+
+} // namespace obs
+} // namespace lift
+
+#endif // LIFT_OBS_CALIBRATION_H

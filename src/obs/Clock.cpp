@@ -1,0 +1,69 @@
+//===- Clock.cpp - Deterministic monotonic clock seam ----------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Clock.h"
+
+#include "support/Support.h"
+
+#include <atomic>
+#include <chrono>
+
+using namespace lift;
+using namespace lift::obs;
+
+namespace {
+
+std::uint64_t steadyNowNs() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+std::atomic<ClockFn> Override{nullptr};
+
+// ScopedFakeClock state. The counter is atomic so a fake-clocked query
+// from a worker thread still yields a unique, monotonic value.
+std::atomic<std::uint64_t> FakeNext{0};
+std::uint64_t FakeStep = 0;
+bool FakeInstalled = false;
+
+std::uint64_t fakeNowNs() {
+  return FakeNext.fetch_add(FakeStep, std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::uint64_t lift::obs::monotonicNowNs() {
+  if (ClockFn Fn = Override.load(std::memory_order_relaxed))
+    return Fn();
+  return steadyNowNs();
+}
+
+void lift::obs::setClockForTest(ClockFn Fn) {
+  Override.store(Fn, std::memory_order_relaxed);
+}
+
+ScopedFakeClock::ScopedFakeClock(std::uint64_t StartNs, std::uint64_t StepNs) {
+  if (FakeInstalled)
+    fatalError("ScopedFakeClock: already installed");
+  FakeInstalled = true;
+  FakeNext.store(StartNs, std::memory_order_relaxed);
+  FakeStep = StepNs;
+  setClockForTest(&fakeNowNs);
+}
+
+ScopedFakeClock::~ScopedFakeClock() {
+  setClockForTest(nullptr);
+  FakeInstalled = false;
+}
+
+void ScopedFakeClock::advance(std::uint64_t Ns) {
+  FakeNext.fetch_add(Ns, std::memory_order_relaxed);
+}
+
+std::uint64_t ScopedFakeClock::peek() const {
+  return FakeNext.load(std::memory_order_relaxed);
+}

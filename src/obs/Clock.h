@@ -1,0 +1,67 @@
+//===- Clock.h - Deterministic monotonic clock seam ------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single monotonic time source for the observability subsystem and
+/// the native runner. Everything that timestamps (the span tracer, the
+/// native wall-clock measurement loop, the machine-peak probe) reads
+/// time through monotonicNowNs(), which normally forwards to the steady
+/// clock but can be redirected to a test-controlled function. That seam
+/// is what makes timing-dependent unit tests flake-free: a fake clock
+/// that advances by a fixed step per query turns "the fastest repeat"
+/// and "span duration" into exact, asserted numbers.
+///
+/// The seam is a single relaxed atomic function-pointer load, so the
+/// production path costs the same as calling the clock directly (see
+/// bench_obs_overhead's BM_ClockSeamNow vs BM_ChronoSteadyNow).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_OBS_CLOCK_H
+#define LIFT_OBS_CLOCK_H
+
+#include <cstdint>
+
+namespace lift {
+namespace obs {
+
+/// Test hook signature: returns nanoseconds on some monotonic scale.
+using ClockFn = std::uint64_t (*)();
+
+/// Nanoseconds from the current clock source (steady clock unless a
+/// test installed an override). Only differences are meaningful.
+std::uint64_t monotonicNowNs();
+
+/// Redirects monotonicNowNs() to \p Fn; nullptr restores the real
+/// clock. Test-only; must not race with concurrent timing.
+void setClockForTest(ClockFn Fn);
+
+/// RAII fake clock for tests: installs a deterministic source that
+/// starts at \p StartNs and advances by \p StepNs on every query, so
+/// the k-th call returns StartNs + k*StepNs exactly. advance() injects
+/// extra elapsed time between queries. Restores the real clock on
+/// destruction. One instance at a time (enforced).
+class ScopedFakeClock {
+public:
+  explicit ScopedFakeClock(std::uint64_t StartNs = 0,
+                           std::uint64_t StepNs = 1000);
+  ~ScopedFakeClock();
+
+  ScopedFakeClock(const ScopedFakeClock &) = delete;
+  ScopedFakeClock &operator=(const ScopedFakeClock &) = delete;
+
+  /// Moves the fake time forward without a query.
+  void advance(std::uint64_t Ns);
+
+  /// The value the *next* query will return.
+  std::uint64_t peek() const;
+};
+
+} // namespace obs
+} // namespace lift
+
+#endif // LIFT_OBS_CLOCK_H

@@ -6,6 +6,8 @@
 
 #include "obs/Obs.h"
 
+#include "obs/Calibration.h"
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +22,10 @@ bool lift::obs::parseObsFlag(const char *Arg, ObsOptions &O) {
   }
   if (std::strncmp(Arg, "--metrics=", 10) == 0) {
     O.MetricsPath = Arg + 10;
+    return true;
+  }
+  if (std::strncmp(Arg, "--calibration=", 14) == 0) {
+    O.CalibrationPath = Arg + 14;
     return true;
   }
   if (std::strcmp(Arg, "--obs-report") == 0) {
@@ -85,6 +91,23 @@ int ObsSession::finish() {
       else
         std::fprintf(stderr, "obs: wrote metrics to %s\n",
                      O.MetricsPath.c_str());
+    }
+  }
+
+  if (!O.CalibrationPath.empty()) {
+    std::ofstream OS(O.CalibrationPath);
+    if (!OS) {
+      std::fprintf(stderr,
+                   "obs: cannot open calibration file %s for writing\n",
+                   O.CalibrationPath.c_str());
+      Rc = 1;
+    } else {
+      OS << calibrationDocumentJson();
+      if (!OS)
+        Rc = 1;
+      else
+        std::fprintf(stderr, "obs: wrote calibration to %s\n",
+                     O.CalibrationPath.c_str());
     }
   }
 

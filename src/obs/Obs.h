@@ -16,6 +16,8 @@
 ///                     (open in chrome://tracing or ui.perfetto.dev)
 ///   --metrics=<file>  metrics registry + per-candidate tuner records
 ///                     as JSON
+///   --calibration=<file>  modeled-vs-measured calibration report per
+///                     measured-objective tuning sweep as JSON
 ///   --obs-report      human-readable metrics dump + tuner flight
 ///                     summary on stdout at exit
 ///
@@ -40,15 +42,17 @@ namespace obs {
 struct ObsOptions {
   std::string TracePath;
   std::string MetricsPath;
+  std::string CalibrationPath;
   bool Report = false;
 
   bool any() const {
-    return Report || !TracePath.empty() || !MetricsPath.empty();
+    return Report || !TracePath.empty() || !MetricsPath.empty() ||
+           !CalibrationPath.empty();
   }
 };
 
-/// Recognizes one argument (--trace=<f>, --metrics=<f>, --obs-report).
-/// Returns true when consumed.
+/// Recognizes one argument (--trace=<f>, --metrics=<f>,
+/// --calibration=<f>, --obs-report). Returns true when consumed.
 bool parseObsFlag(const char *Arg, ObsOptions &O);
 
 /// Scans the whole command line for the observability flags (without

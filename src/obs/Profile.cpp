@@ -1,0 +1,217 @@
+//===- Profile.cpp - Per-region kernel profile record ----------------------===//
+//
+// Part of the liftcpp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Profile.h"
+
+#include "obs/Trace.h"
+
+#include <cstdio>
+
+using namespace lift;
+using namespace lift::obs;
+
+double ProfileRegion::gbPerSec() const {
+  return Seconds > 0 ? double(bytes()) / Seconds / 1e9 : 0.0;
+}
+
+double ProfileRegion::gflopsPerSec() const {
+  return Seconds > 0 ? double(Flops) / Seconds / 1e9 : 0.0;
+}
+
+double ProfileRegion::intensity() const {
+  return bytes() > 0 ? double(Flops) / double(bytes()) : 0.0;
+}
+
+std::uint64_t Profile::totalBytes() const {
+  std::uint64_t N = 0;
+  for (const ProfileRegion &R : Regions)
+    N += R.bytes();
+  return N;
+}
+
+std::uint64_t Profile::totalFlops() const {
+  std::uint64_t N = 0;
+  for (const ProfileRegion &R : Regions)
+    N += R.Flops;
+  return N;
+}
+
+namespace {
+
+std::string fmt(const char *Format, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), Format, V);
+  return Buf;
+}
+
+} // namespace
+
+std::string Profile::toText() const {
+  std::string Out;
+  Out += "profile: " + KernelName;
+  if (!Variant.empty())
+    Out += " [" + Variant + "]";
+  if (!Grid.empty())
+    Out += " grid " + Grid;
+  Out += "\n";
+  Out += "  total " + fmt("%.6f", TotalSeconds) + " s";
+  if (TotalSeconds > 0) {
+    Out += ", " + fmt("%.2f", double(totalBytes()) / TotalSeconds / 1e9) +
+           " GB/s";
+    Out += ", " + fmt("%.2f", double(totalFlops()) / TotalSeconds / 1e9) +
+           " GFLOP/s";
+  }
+  if (PeakGBPerSec > 0)
+    Out += "  (machine peak " + fmt("%.1f", PeakGBPerSec) + " GB/s, " +
+           fmt("%.1f", PeakGFlopsPerSec) + " GFLOP/s)";
+  Out += "\n";
+
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "  %-14s %12s %14s %14s %10s %9s %9s %9s\n",
+                "region", "time_ms", "bytes_rd", "bytes_wr", "flops", "GB/s",
+                "GFLOP/s", "AI");
+  Out += Buf;
+  for (const ProfileRegion &R : Regions) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %-14s %12.4f %14llu %14llu %10llu %9.2f %9.2f %9.3f",
+                  R.Name.c_str(), R.Seconds * 1e3,
+                  (unsigned long long)R.BytesRead,
+                  (unsigned long long)R.BytesWritten,
+                  (unsigned long long)R.Flops, R.gbPerSec(),
+                  R.gflopsPerSec(), R.intensity());
+    Out += Buf;
+    if (PeakGBPerSec > 0 && R.Seconds > 0) {
+      // Roofline: which ceiling binds at this region's intensity, and
+      // how much of it the region achieves.
+      double RooflineGFs = PeakGBPerSec * R.intensity();
+      bool MemBound =
+          PeakGFlopsPerSec <= 0 || RooflineGFs < PeakGFlopsPerSec;
+      double Limit = MemBound ? PeakGBPerSec : PeakGFlopsPerSec;
+      double Achieved = MemBound ? R.gbPerSec() : R.gflopsPerSec();
+      std::snprintf(Buf, sizeof(Buf), "  %5.1f%% of %s peak",
+                    Limit > 0 ? 100.0 * Achieved / Limit : 0.0,
+                    MemBound ? "memory" : "compute");
+      Out += Buf;
+    }
+    Out += "\n";
+  }
+  return Out;
+}
+
+json::Value Profile::toJson() const {
+  json::Value Doc = json::Value::makeObject();
+  Doc.set("kernel", json::Value::string(KernelName));
+  Doc.set("variant", json::Value::string(Variant));
+  Doc.set("grid", json::Value::string(Grid));
+  Doc.set("total_seconds", json::Value::number(TotalSeconds));
+  Doc.set("peak_gb_per_sec", json::Value::number(PeakGBPerSec));
+  Doc.set("peak_gflops_per_sec", json::Value::number(PeakGFlopsPerSec));
+  json::Value Regs = json::Value::makeArray();
+  for (const ProfileRegion &R : Regions) {
+    json::Value O = json::Value::makeObject();
+    O.set("name", json::Value::string(R.Name));
+    O.set("kind", json::Value::string(R.Kind));
+    O.set("seconds", json::Value::number(R.Seconds));
+    O.set("iterations", json::Value::number(double(R.Iterations)));
+    O.set("bytes_read", json::Value::number(double(R.BytesRead)));
+    O.set("bytes_written", json::Value::number(double(R.BytesWritten)));
+    O.set("flops", json::Value::number(double(R.Flops)));
+    O.set("gb_per_sec", json::Value::number(R.gbPerSec()));
+    O.set("gflops_per_sec", json::Value::number(R.gflopsPerSec()));
+    O.set("arithmetic_intensity", json::Value::number(R.intensity()));
+    Regs.push(std::move(O));
+  }
+  Doc.set("regions", std::move(Regs));
+  return Doc;
+}
+
+std::string Profile::toJsonString() const { return toJson().serialize(); }
+
+namespace {
+
+bool getString(const json::Value &V, const char *Key, std::string &Out) {
+  const json::Value *M = V.find(Key);
+  if (!M || !M->isString())
+    return false;
+  Out = M->asString();
+  return true;
+}
+
+bool getNumber(const json::Value &V, const char *Key, double &Out) {
+  const json::Value *M = V.find(Key);
+  if (!M || !M->isNumber())
+    return false;
+  Out = M->asNumber();
+  return true;
+}
+
+bool getCount(const json::Value &V, const char *Key, std::uint64_t &Out) {
+  double D = 0;
+  if (!getNumber(V, Key, D) || D < 0)
+    return false;
+  Out = std::uint64_t(D);
+  return true;
+}
+
+} // namespace
+
+bool Profile::fromJson(const json::Value &V, Profile &Out) {
+  if (!V.isObject())
+    return false;
+  Profile P;
+  if (!getString(V, "kernel", P.KernelName) ||
+      !getString(V, "variant", P.Variant) || !getString(V, "grid", P.Grid) ||
+      !getNumber(V, "total_seconds", P.TotalSeconds) ||
+      !getNumber(V, "peak_gb_per_sec", P.PeakGBPerSec) ||
+      !getNumber(V, "peak_gflops_per_sec", P.PeakGFlopsPerSec))
+    return false;
+  const json::Value *Regs = V.find("regions");
+  if (!Regs || !Regs->isArray())
+    return false;
+  for (const json::Value &RV : Regs->array()) {
+    ProfileRegion R;
+    if (!getString(RV, "name", R.Name) || !getString(RV, "kind", R.Kind) ||
+        !getNumber(RV, "seconds", R.Seconds) ||
+        !getCount(RV, "iterations", R.Iterations) ||
+        !getCount(RV, "bytes_read", R.BytesRead) ||
+        !getCount(RV, "bytes_written", R.BytesWritten) ||
+        !getCount(RV, "flops", R.Flops))
+      return false;
+    P.Regions.push_back(std::move(R));
+  }
+  Out = std::move(P);
+  return true;
+}
+
+void Profile::emitTraceSpans() const {
+  if (!Tracer::enabled())
+    return;
+  Tracer &T = Tracer::global();
+  std::uint64_t Base = T.nowNs();
+  auto Ns = [](double Seconds) {
+    return Seconds > 0 ? std::uint64_t(Seconds * 1e9) : 0;
+  };
+  TraceEvent Whole;
+  Whole.Name = "profile.kernel." + KernelName;
+  Whole.Cat = "profile";
+  Whole.StartNs = Base;
+  Whole.DurNs = Ns(TotalSeconds);
+  if (!Variant.empty())
+    Whole.Args = "\"variant\":\"" + json::escape(Variant) + "\"";
+  T.record(std::move(Whole));
+  std::uint64_t At = Base;
+  for (const ProfileRegion &R : Regions) {
+    TraceEvent E;
+    E.Name = "profile.region." + R.Name;
+    E.Cat = "profile";
+    E.StartNs = At;
+    E.DurNs = Ns(R.Seconds);
+    E.Args = "\"bytes\":" + std::to_string(R.bytes()) +
+             ",\"flops\":" + std::to_string(R.Flops);
+    At += E.DurNs;
+    T.record(std::move(E));
+  }
+}

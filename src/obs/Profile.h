@@ -1,0 +1,97 @@
+//===- Profile.h - Per-region kernel profile record ------------*- C++ -*-===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result record of an in-kernel profiling run (the Devito-style
+/// performance-introspection layer): one entry per instrumented
+/// loop-nest region of an emitted native kernel, carrying the measured
+/// region time next to statically derived work counts (bytes moved
+/// to/from global memory and FLOPs, computed from the kernel AST by
+/// codegen/AccessAnalysis). From those the record derives achieved
+/// GB/s, GFLOP/s and arithmetic intensity, and — when machine peaks
+/// from the STREAM-style probe (native/Peaks.h) are attached — the
+/// roofline-limited fraction of peak each region reaches.
+///
+/// This header is deliberately free of kernel-AST dependencies: the
+/// native backend fills the record in, while reporting, JSON round-trip
+/// and trace-merging live here so tests can exercise them with
+/// synthetic data and no toolchain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_OBS_PROFILE_H
+#define LIFT_OBS_PROFILE_H
+
+#include "obs/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace obs {
+
+/// One instrumented loop-nest region of a profiled kernel.
+struct ProfileRegion {
+  std::string Name; ///< deterministic, e.g. "glb.i0" or "lcl.i4"
+  std::string Kind; ///< loop kind of the region root: glb/wrg/lcl/seq
+  double Seconds = 0;            ///< measured region time (best repeat)
+  std::uint64_t Iterations = 0;  ///< iterations of the region's root loop
+  std::uint64_t BytesRead = 0;   ///< static: global-memory bytes loaded
+  std::uint64_t BytesWritten = 0;///< static: global-memory bytes stored
+  std::uint64_t Flops = 0;       ///< static: user-function FLOPs
+
+  std::uint64_t bytes() const { return BytesRead + BytesWritten; }
+  /// Achieved global-memory bandwidth in GB/s (0 when untimed).
+  double gbPerSec() const;
+  /// Achieved arithmetic throughput in GFLOP/s (0 when untimed).
+  double gflopsPerSec() const;
+  /// Arithmetic intensity in FLOP/byte (0 when no bytes move).
+  double intensity() const;
+};
+
+/// A complete profiled execution of one kernel.
+struct Profile {
+  std::string KernelName;
+  std::string Variant; ///< lowering descriptor, e.g. "tiled16-local"
+  std::string Grid;    ///< e.g. "4096x4096"
+  double TotalSeconds = 0; ///< whole-kernel time (best repeat)
+  /// Machine peaks from the STREAM-style probe; 0 when not probed.
+  double PeakGBPerSec = 0;
+  double PeakGFlopsPerSec = 0;
+  std::vector<ProfileRegion> Regions;
+
+  /// Sum of the static counters over all regions.
+  std::uint64_t totalBytes() const;
+  std::uint64_t totalFlops() const;
+
+  /// Human-readable per-region table with achieved GB/s / GFLOP/s /
+  /// intensity and, when peaks are present, percent-of-roofline.
+  std::string toText() const;
+
+  /// JSON document (schema pinned by JsonTest round-trip):
+  /// {"kernel","variant","grid","total_seconds","peak_gb_per_sec",
+  ///  "peak_gflops_per_sec","regions":[{...}]}.
+  json::Value toJson() const;
+  std::string toJsonString() const;
+
+  /// Rebuilds a Profile from toJson() output. False on schema
+  /// mismatch (missing/ill-typed required members).
+  static bool fromJson(const json::Value &V, Profile &Out);
+
+  /// Records the regions (and a whole-kernel envelope span) into the
+  /// global Tracer so profiled runs merge into the --trace timeline.
+  /// Spans are named "profile.region.<name>" (category "profile") and
+  /// laid out back-to-back from the current trace time. No-op while
+  /// tracing is disabled.
+  void emitTraceSpans() const;
+};
+
+} // namespace obs
+} // namespace lift
+
+#endif // LIFT_OBS_PROFILE_H

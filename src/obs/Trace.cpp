@@ -6,11 +6,11 @@
 
 #include "obs/Trace.h"
 
+#include "obs/Clock.h"
 #include "obs/Json.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 
@@ -20,12 +20,6 @@ using namespace lift::obs;
 std::atomic<bool> Tracer::EnabledFlag{false};
 
 namespace {
-
-std::uint64_t steadyNs() {
-  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           std::chrono::steady_clock::now().time_since_epoch())
-                           .count());
-}
 
 // The calling thread's buffer for the current tracer generation,
 // checked (and refreshed) on every record; clear() invalidates it by
@@ -43,15 +37,20 @@ Tracer &Tracer::global() {
   return *T;
 }
 
-Tracer::Tracer() { EpochNs = steadyNs(); }
+Tracer::Tracer() { EpochNs = monotonicNowNs(); }
 
-std::uint64_t Tracer::nowNs() const { return steadyNs() - EpochNs; }
+std::uint64_t Tracer::nowNs() const {
+  // Through the clock seam (obs/Clock.h), so a test-installed fake
+  // clock makes span timestamps deterministic.
+  std::uint64_t Now = monotonicNowNs();
+  return Now > EpochNs ? Now - EpochNs : 0;
+}
 
 void Tracer::enable() {
   clear();
   {
     std::lock_guard<std::mutex> Lock(RegM);
-    EpochNs = steadyNs();
+    EpochNs = monotonicNowNs();
   }
   EnabledFlag.store(true, std::memory_order_relaxed);
   // Register the enabling thread eagerly so it gets tid 0 ("main")

@@ -10,6 +10,7 @@
 #include "codegen/Runner.h"
 #include "ir/StructuralHash.h"
 #include "native/NativeRunner.h"
+#include "obs/Calibration.h"
 #include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -572,5 +573,30 @@ TuneResult lift::tuner::tuneStencil(const TuningProblem &P,
     fatalError("tuner: no valid candidate for " + P.B->Name + " (all " +
                std::to_string(Candidates.size()) +
                " candidates pruned: " + Result.Prunes.describe() + ")");
+
+  // Measured sweeps carry both times per candidate; summarize how well
+  // the analytical model tracked the wall clock as tune-end gauges so
+  // --obs-report surfaces calibration without the full JSON report.
+  if (Opts.Obj == Objective::Measured && !Result.All.empty()) {
+    std::vector<obs::CalibrationPair> Pairs;
+    for (const Evaluated &E : Result.All) {
+      if (E.MeasuredSeconds <= 0 || E.T.Total <= 0)
+        continue;
+      obs::CalibrationPair Pair;
+      Pair.Variant = E.C.describe();
+      Pair.ModeledSeconds = E.T.Total;
+      Pair.MeasuredSeconds = E.MeasuredSeconds;
+      Pairs.push_back(std::move(Pair));
+    }
+    if (!Pairs.empty()) {
+      obs::CalibrationReport CR =
+          obs::calibrate(P.B->Name, std::move(Pairs));
+      Reg.gauge("tuner.calib.pairs").set(double(CR.Pairs.size()));
+      Reg.gauge("tuner.calib.spearman_rho").set(CR.SpearmanRho);
+      Reg.gauge("tuner.calib.mean_rel_error").set(CR.MeanRelativeError);
+      Reg.gauge("tuner.calib.argmin_agreement")
+          .set(CR.ArgminAgreement ? 1.0 : 0.0);
+    }
+  }
   return Result;
 }

@@ -137,6 +137,40 @@ TEST(GoldenCEmitter, Jacobi2D5ptGlobalSpecialized) {
   checkGolden("jacobi2d5pt_global_specialized.c", native::emitC(K));
 }
 
+// Profile mode as plain C: every loop-nest region wrapped in
+// monotonic-clock accumulation into the lift_prof slot array appended
+// to the ABI, OpenMP suppressed (timers are not thread-safe), and —
+// the part the bit-identity differential test depends on — loop
+// bodies untouched.
+TEST(GoldenCEmitter, Stencil2DGlobalProfiled) {
+  const Benchmark &B = findBenchmark("Stencil2D");
+  BenchmarkInstance I = B.Build();
+  LoweringOptions O;
+  std::string WhyNot;
+  ir::Program Low = lowerStencil(I.P, O, &WhyNot);
+  ASSERT_TRUE(bool(Low)) << WhyNot;
+  codegen::Compiled C = codegen::compileProgram(Low, B.Name);
+  native::CEmitOptions PO;
+  PO.Profile = true;
+  checkGolden("stencil2d_global_profiled.c", native::emitC(C.K, PO));
+}
+
+TEST(GoldenCEmitter, Stencil2DTiledLocalProfiled) {
+  const Benchmark &B = findBenchmark("Stencil2D");
+  BenchmarkInstance I = B.Build();
+  LoweringOptions O;
+  O.Tile = true;
+  O.TileOutputs = 16;
+  O.UseLocalMem = true;
+  std::string WhyNot;
+  ir::Program Low = lowerStencil(I.P, O, &WhyNot);
+  ASSERT_TRUE(bool(Low)) << WhyNot;
+  codegen::Compiled C = codegen::compileProgram(Low, B.Name);
+  native::CEmitOptions PO;
+  PO.Profile = true;
+  checkGolden("stencil2d_tiled_local_profiled.c", native::emitC(C.K, PO));
+}
+
 // Determinism contract behind both the golden files and the kernel
 // cache: two independent builds of the same benchmark emit
 // byte-identical source even though their size-variable ids differ.

@@ -1,0 +1,164 @@
+//===- CalibrationTest.cpp - Cost model calibration reports ----------------===//
+//
+// Part of the liftcpp project.
+//
+// The calibration layer's contract: Spearman rank correlation with
+// average-rank tie handling, argmin agreement with the tuner's
+// first-minimum tie-break, per-pair relative error, the JSON schema of
+// calibration.json, and the flight-recorder join that produces pairs
+// only from candidates evaluated under both objectives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Calibration.h"
+
+#include "obs/FlightRecorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace lift::obs;
+
+namespace {
+
+CalibrationPair pair(const char *Variant, double Modeled, double Measured) {
+  CalibrationPair P;
+  P.Variant = Variant;
+  P.ModeledSeconds = Modeled;
+  P.MeasuredSeconds = Measured;
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Spearman rank correlation
+//===----------------------------------------------------------------------===//
+
+TEST(Spearman, PerfectAgreementIsOne) {
+  EXPECT_DOUBLE_EQ(spearmanRho({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+  // Rank correlation cares about order only, not scale or linearity.
+  EXPECT_DOUBLE_EQ(spearmanRho({1, 2, 3, 4}, {1, 100, 10000, 1000000}), 1.0);
+}
+
+TEST(Spearman, ReversedOrderIsMinusOne) {
+  EXPECT_DOUBLE_EQ(spearmanRho({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0);
+}
+
+TEST(Spearman, TiesGetAverageRanks) {
+  // A = (1, 2, 2, 3) -> ranks (1, 2.5, 2.5, 4); B strictly increasing.
+  double Rho = spearmanRho({1, 2, 2, 3}, {1, 2, 3, 4});
+  EXPECT_GT(Rho, 0.9);
+  EXPECT_LT(Rho, 1.0);
+}
+
+TEST(Spearman, DegenerateInputsAreDefinedAsOne) {
+  EXPECT_DOUBLE_EQ(spearmanRho({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(spearmanRho({5}, {7}), 1.0);
+  // Constant ranks leave the correlation undefined; report 1.0 so a
+  // single-variant sweep does not read as a calibration failure.
+  EXPECT_DOUBLE_EQ(spearmanRho({3, 3, 3}, {1, 2, 3}), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// calibrate(): known orderings
+//===----------------------------------------------------------------------===//
+
+TEST(Calibration, AgreeingOrderingAgreesOnArgmin) {
+  CalibrationReport R = calibrate(
+      "bench", {pair("a", 1.0, 10.0), pair("b", 2.0, 20.0),
+                pair("c", 3.0, 30.0)});
+  EXPECT_DOUBLE_EQ(R.SpearmanRho, 1.0);
+  EXPECT_EQ(R.ModeledBest, "a");
+  EXPECT_EQ(R.MeasuredBest, "a");
+  EXPECT_TRUE(R.ArgminAgreement);
+  // relative error of each pair is |m - w|/w = 0.9; the mean too.
+  EXPECT_NEAR(R.MeanRelativeError, 0.9, 1e-12);
+}
+
+TEST(Calibration, ReversedOrderingDisagreesOnArgmin) {
+  CalibrationReport R = calibrate(
+      "bench", {pair("a", 1.0, 30.0), pair("b", 2.0, 20.0),
+                pair("c", 3.0, 10.0)});
+  EXPECT_DOUBLE_EQ(R.SpearmanRho, -1.0);
+  EXPECT_EQ(R.ModeledBest, "a");
+  EXPECT_EQ(R.MeasuredBest, "c");
+  EXPECT_FALSE(R.ArgminAgreement);
+}
+
+TEST(Calibration, ArgminTieBreaksToFirstLikeTheTuner) {
+  CalibrationReport R = calibrate(
+      "bench", {pair("a", 2.0, 5.0), pair("b", 2.0, 5.0)});
+  EXPECT_EQ(R.ModeledBest, "a");
+  EXPECT_EQ(R.MeasuredBest, "a");
+  EXPECT_TRUE(R.ArgminAgreement);
+}
+
+TEST(Calibration, RelativeErrorGuardsZeroMeasured) {
+  EXPECT_DOUBLE_EQ(pair("x", 1.0, 0.0).relativeError(), 0.0);
+  EXPECT_DOUBLE_EQ(pair("x", 3.0, 2.0).relativeError(), 0.5);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON schema
+//===----------------------------------------------------------------------===//
+
+TEST(Calibration, ReportJsonSchemaRoundTrips) {
+  CalibrationReport R = calibrate(
+      "Jacobi2D5pt", {pair("global", 0.001, 0.002),
+                      pair("tiled16-local", 0.003, 0.001)});
+  std::string Text = R.toJson().serialize();
+  json::Value Doc;
+  ASSERT_TRUE(json::parse(Text, Doc)) << Text;
+  EXPECT_EQ(Doc.find("label")->asString(), "Jacobi2D5pt");
+  EXPECT_EQ(Doc.find("modeled_best")->asString(), "global");
+  EXPECT_EQ(Doc.find("measured_best")->asString(), "tiled16-local");
+  EXPECT_FALSE(Doc.find("argmin_agreement")->asBool());
+  EXPECT_DOUBLE_EQ(Doc.find("spearman_rho")->asNumber(), -1.0);
+  ASSERT_NE(Doc.find("pairs"), nullptr);
+  ASSERT_EQ(Doc.find("pairs")->array().size(), 2u);
+  const json::Value &P0 = Doc.find("pairs")->array()[0];
+  EXPECT_EQ(P0.find("variant")->asString(), "global");
+  EXPECT_DOUBLE_EQ(P0.find("modeled_seconds")->asNumber(), 0.001);
+  EXPECT_DOUBLE_EQ(P0.find("measured_seconds")->asNumber(), 0.002);
+  EXPECT_DOUBLE_EQ(P0.find("relative_error")->asNumber(), 0.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight-recorder join
+//===----------------------------------------------------------------------===//
+
+TEST(Calibration, LogJoinSkipsCandidatesWithoutBothTimes) {
+  FlightRecorder::TuneLog Log;
+  Log.Label = "sweep";
+  CandidateRecord A;
+  A.Variant = "a";
+  A.Valid = true;
+  A.PredictedTime = 0.5;
+  A.MeasuredTime = 1.0;
+  CandidateRecord Pruned;
+  Pruned.Variant = "pruned";
+  Pruned.Valid = false;
+  CandidateRecord ModeledOnly;
+  ModeledOnly.Variant = "modeled-only";
+  ModeledOnly.Valid = true;
+  ModeledOnly.PredictedTime = 0.25;
+  ModeledOnly.MeasuredTime = 0.0;
+  Log.Records = {A, Pruned, ModeledOnly};
+
+  CalibrationReport R = calibrateLog(Log);
+  EXPECT_EQ(R.Label, "sweep");
+  ASSERT_EQ(R.Pairs.size(), 1u);
+  EXPECT_EQ(R.Pairs[0].Variant, "a");
+  EXPECT_DOUBLE_EQ(R.Pairs[0].ModeledSeconds, 0.5);
+  EXPECT_DOUBLE_EQ(R.Pairs[0].MeasuredSeconds, 1.0);
+}
+
+TEST(Calibration, TextSummaryMentionsHeadlineNumbers) {
+  CalibrationReport R = calibrate(
+      "bench", {pair("a", 1.0, 10.0), pair("b", 2.0, 20.0)});
+  std::string Text = R.toText();
+  EXPECT_NE(Text.find("bench"), std::string::npos);
+  EXPECT_NE(Text.find("spearman"), std::string::npos);
+}
+
+} // namespace

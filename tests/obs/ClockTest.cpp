@@ -1,0 +1,92 @@
+//===- ClockTest.cpp - Deterministic clock seam ----------------------------===//
+//
+// Part of the liftcpp project.
+//
+// The clock seam (obs/Clock.h) is the single time source for the
+// tracer and the native runner's wall-clock measurements. These tests
+// pin its two halves: the real clock is monotonic, and a test-installed
+// fake produces exactly the scripted timestamps — which makes timing-
+// dependent code (span durations, runner seconds) assertable to the
+// nanosecond.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Clock.h"
+
+#include "obs/Json.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift::obs;
+
+namespace {
+
+TEST(Clock, RealClockIsMonotonic) {
+  std::uint64_t Prev = monotonicNowNs();
+  for (int I = 0; I != 1000; ++I) {
+    std::uint64_t Now = monotonicNowNs();
+    ASSERT_GE(Now, Prev);
+    Prev = Now;
+  }
+}
+
+TEST(Clock, FakeClockStepsDeterministically) {
+  ScopedFakeClock Fake(/*StartNs=*/1000, /*StepNs=*/10);
+  EXPECT_EQ(monotonicNowNs(), 1000u);
+  EXPECT_EQ(monotonicNowNs(), 1010u);
+  EXPECT_EQ(monotonicNowNs(), 1020u);
+}
+
+TEST(Clock, FakeClockAdvanceAndPeek) {
+  ScopedFakeClock Fake(/*StartNs=*/0, /*StepNs=*/1);
+  EXPECT_EQ(Fake.peek(), 0u);
+  Fake.advance(500);
+  EXPECT_EQ(Fake.peek(), 500u);
+  EXPECT_EQ(monotonicNowNs(), 500u);
+}
+
+TEST(Clock, RealClockRestoredAfterScopeExit) {
+  std::uint64_t Before = monotonicNowNs();
+  {
+    ScopedFakeClock Fake(/*StartNs=*/42, /*StepNs=*/1);
+    EXPECT_EQ(monotonicNowNs(), 42u);
+  }
+  // Back on the real clock: still monotonic relative to Before, and
+  // nowhere near the fake's epoch.
+  EXPECT_GE(monotonicNowNs(), Before);
+}
+
+TEST(Clock, DoubleInstallIsFatal) {
+  ScopedFakeClock Fake;
+  EXPECT_DEATH({ ScopedFakeClock Second; }, "already installed");
+}
+
+// The tracer times spans through the seam: under a fake clock a span's
+// duration is exactly the scripted step count. Span construction
+// queries the clock once at open and once at close; the Chrome "ts" /
+// "dur" fields are microseconds.
+TEST(Clock, TracerSpansAreDeterministicUnderFakeClock) {
+  Tracer &T = Tracer::global();
+  ScopedFakeClock Fake(/*StartNs=*/0, /*StepNs=*/1000);
+  T.enable(); // re-anchors the trace epoch on the fake clock
+  {
+    Span S("clock.test", "test");
+  }
+  std::string Exported = T.exportChromeJson();
+  T.clear();
+  json::Value Doc;
+  ASSERT_TRUE(json::parse(Exported, Doc));
+  const json::Value *Events = Doc.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  const json::Value *Found = nullptr;
+  for (const json::Value &E : Events->array())
+    if (E.find("name") && E.find("name")->asString() == "clock.test")
+      Found = &E;
+  ASSERT_NE(Found, nullptr);
+  // Exactly one fake step between open and close: dur == 1 us.
+  ASSERT_NE(Found->find("dur"), nullptr);
+  EXPECT_DOUBLE_EQ(Found->find("dur")->asNumber(), 1.0);
+}
+
+} // namespace

@@ -89,6 +89,54 @@ TEST(Json, SerializeParsesBack) {
   EXPECT_TRUE(Back.find("xs")->array()[1].isNull());
 }
 
+TEST(Json, EveryControlCharacterRoundTripsThroughSerialize) {
+  // One string holding all 32 control bytes plus the two escapables;
+  // profile/calibration variant names are user-influenced, so the
+  // writer must never emit a byte that breaks the document.
+  std::string Nasty = "\"\\";
+  for (char C = 1; C < 0x20; ++C)
+    Nasty.push_back(C);
+  Value Doc = Value::makeObject();
+  Doc.set("s", Value::string(Nasty));
+  Value Back;
+  ASSERT_TRUE(parse(Doc.serialize(), Back)) << Doc.serialize();
+  EXPECT_EQ(Back.find("s")->asString(), Nasty);
+}
+
+TEST(Json, DeeplyNestedContainersRoundTrip) {
+  // [[[...{"k":[...]}...]]] 24 levels deep: the parser must not cap
+  // nesting below what real profile/trace documents use, and
+  // serialize/parse must be a fixed point.
+  Value Leaf = Value::makeArray();
+  Leaf.push(Value::number(1));
+  Value Cur = std::move(Leaf);
+  for (int I = 0; I != 24; ++I) {
+    if (I % 2) {
+      Value Obj = Value::makeObject();
+      Obj.set("k", std::move(Cur));
+      Cur = std::move(Obj);
+    } else {
+      Value Arr = Value::makeArray();
+      Arr.push(std::move(Cur));
+      Cur = std::move(Arr);
+    }
+  }
+  std::string Once = Cur.serialize();
+  Value Back;
+  ASSERT_TRUE(parse(Once, Back));
+  EXPECT_EQ(Back.serialize(), Once);
+}
+
+TEST(Json, NumberEdgeCasesSurviveRoundTrip) {
+  for (double N : {0.0, -0.0, 1e-9, 6.2837996665621176e-05, 1e18}) {
+    Value Doc = Value::makeArray();
+    Doc.push(Value::number(N));
+    Value Back;
+    ASSERT_TRUE(parse(Doc.serialize(), Back)) << Doc.serialize();
+    EXPECT_DOUBLE_EQ(Back.array()[0].asNumber(), N) << Doc.serialize();
+  }
+}
+
 TEST(Json, RejectsMalformedInputWithError) {
   Value V;
   std::string Err;

@@ -1,0 +1,159 @@
+//===- ProfileReportTest.cpp - Profile record reporting --------------------===//
+//
+// Part of the liftcpp project.
+//
+// obs::Profile with synthetic data (no toolchain needed): derived
+// metrics (GB/s, GFLOP/s, arithmetic intensity), the text table with
+// and without machine peaks, the pinned JSON schema and its round-trip
+// through fromJson, and the Chrome-trace merge of profile regions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Profile.h"
+
+#include "obs/Json.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift::obs;
+
+namespace {
+
+Profile sampleProfile() {
+  Profile P;
+  P.KernelName = "Jacobi2D5pt";
+  P.Variant = "tiled16-local";
+  P.Grid = "256x256";
+  P.TotalSeconds = 2e-3;
+  P.PeakGBPerSec = 20.0;
+  P.PeakGFlopsPerSec = 10.0;
+  ProfileRegion Fill;
+  Fill.Name = "lcl.i2";
+  Fill.Kind = "lcl";
+  Fill.Seconds = 0.5e-3;
+  Fill.Iterations = 4608;
+  Fill.BytesRead = 1000000;
+  ProfileRegion Compute;
+  Compute.Name = "lcl.i4";
+  Compute.Kind = "lcl";
+  Compute.Seconds = 1.5e-3;
+  Compute.Iterations = 4096;
+  Compute.BytesWritten = 262144;
+  Compute.Flops = 655360;
+  P.Regions = {Fill, Compute};
+  return P;
+}
+
+TEST(ProfileRecord, DerivedMetrics) {
+  Profile P = sampleProfile();
+  const ProfileRegion &Fill = P.Regions[0];
+  // 1 MB in 0.5 ms = 2 GB/s.
+  EXPECT_NEAR(Fill.gbPerSec(), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Fill.gflopsPerSec(), 0.0);
+  EXPECT_DOUBLE_EQ(Fill.intensity(), 0.0);
+  const ProfileRegion &Compute = P.Regions[1];
+  EXPECT_NEAR(Compute.intensity(), 2.5, 1e-12);
+  EXPECT_NEAR(Compute.gflopsPerSec(), 655360 / 1.5e-3 / 1e9, 1e-9);
+  EXPECT_EQ(P.totalBytes(), 1000000u + 262144u);
+  EXPECT_EQ(P.totalFlops(), 655360u);
+}
+
+TEST(ProfileRecord, UntimedRegionHasZeroRates) {
+  ProfileRegion R;
+  R.BytesRead = 100;
+  R.Flops = 100;
+  EXPECT_DOUBLE_EQ(R.gbPerSec(), 0.0);
+  EXPECT_DOUBLE_EQ(R.gflopsPerSec(), 0.0);
+}
+
+TEST(ProfileRecord, TextTableCarriesRegionsAndPeaks) {
+  Profile P = sampleProfile();
+  std::string Text = P.toText();
+  EXPECT_NE(Text.find("Jacobi2D5pt"), std::string::npos);
+  EXPECT_NE(Text.find("tiled16-local"), std::string::npos);
+  EXPECT_NE(Text.find("lcl.i2"), std::string::npos);
+  EXPECT_NE(Text.find("lcl.i4"), std::string::npos);
+  EXPECT_NE(Text.find("peak"), std::string::npos);
+
+  // Without peaks, no roofline column.
+  Profile NoPeaks = sampleProfile();
+  NoPeaks.PeakGBPerSec = 0;
+  NoPeaks.PeakGFlopsPerSec = 0;
+  EXPECT_EQ(NoPeaks.toText().find("% of"), std::string::npos);
+}
+
+TEST(ProfileRecord, JsonSchemaRoundTrips) {
+  Profile P = sampleProfile();
+  json::Value Doc;
+  ASSERT_TRUE(json::parse(P.toJsonString(), Doc));
+  EXPECT_EQ(Doc.find("kernel")->asString(), "Jacobi2D5pt");
+  EXPECT_EQ(Doc.find("variant")->asString(), "tiled16-local");
+  EXPECT_EQ(Doc.find("grid")->asString(), "256x256");
+  EXPECT_DOUBLE_EQ(Doc.find("total_seconds")->asNumber(), 2e-3);
+  ASSERT_NE(Doc.find("regions"), nullptr);
+  ASSERT_EQ(Doc.find("regions")->array().size(), 2u);
+  const json::Value &R0 = Doc.find("regions")->array()[0];
+  EXPECT_EQ(R0.find("name")->asString(), "lcl.i2");
+  EXPECT_EQ(R0.find("kind")->asString(), "lcl");
+  EXPECT_DOUBLE_EQ(R0.find("bytes_read")->asNumber(), 1000000.0);
+  EXPECT_DOUBLE_EQ(R0.find("gb_per_sec")->asNumber(),
+                   P.Regions[0].gbPerSec());
+
+  Profile Back;
+  ASSERT_TRUE(Profile::fromJson(Doc, Back));
+  EXPECT_EQ(Back.KernelName, P.KernelName);
+  EXPECT_EQ(Back.Variant, P.Variant);
+  EXPECT_EQ(Back.Grid, P.Grid);
+  EXPECT_DOUBLE_EQ(Back.TotalSeconds, P.TotalSeconds);
+  ASSERT_EQ(Back.Regions.size(), 2u);
+  EXPECT_EQ(Back.Regions[1].Name, "lcl.i4");
+  EXPECT_EQ(Back.Regions[1].Flops, 655360u);
+  EXPECT_EQ(Back.Regions[0].BytesRead, 1000000u);
+}
+
+TEST(ProfileRecord, FromJsonRejectsSchemaMismatch) {
+  json::Value NotAProfile;
+  ASSERT_TRUE(json::parse("{\"kernel\": 7}", NotAProfile));
+  Profile Out;
+  EXPECT_FALSE(Profile::fromJson(NotAProfile, Out));
+  ASSERT_TRUE(json::parse("[1,2,3]", NotAProfile));
+  EXPECT_FALSE(Profile::fromJson(NotAProfile, Out));
+}
+
+TEST(ProfileRecord, TraceSpansMergeIntoTimeline) {
+  Tracer &T = Tracer::global();
+  T.enable();
+  sampleProfile().emitTraceSpans();
+  std::string Exported = T.exportChromeJson();
+  T.clear();
+  json::Value Doc;
+  ASSERT_TRUE(json::parse(Exported, Doc));
+  bool Envelope = false, Fill = false, Compute = false;
+  for (const json::Value &E : Doc.find("traceEvents")->array()) {
+    const json::Value *Name = E.find("name");
+    if (!Name)
+      continue;
+    if (Name->asString() == "profile.kernel.Jacobi2D5pt")
+      Envelope = true;
+    if (Name->asString() == "profile.region.lcl.i2")
+      Fill = true;
+    if (Name->asString() == "profile.region.lcl.i4")
+      Compute = true;
+  }
+  EXPECT_TRUE(Envelope);
+  EXPECT_TRUE(Fill);
+  EXPECT_TRUE(Compute);
+}
+
+TEST(ProfileRecord, TraceSpansNoOpWhileDisabled) {
+  Tracer &T = Tracer::global();
+  T.clear(); // disables
+  sampleProfile().emitTraceSpans();
+  std::string Exported = T.exportChromeJson();
+  json::Value Doc;
+  ASSERT_TRUE(json::parse(Exported, Doc));
+  EXPECT_TRUE(Doc.find("traceEvents")->array().empty());
+}
+
+} // namespace

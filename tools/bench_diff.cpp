@@ -1,0 +1,243 @@
+//===- bench_diff.cpp - Compare two bench snapshot JSON files --------------===//
+//
+// Part of the liftcpp project, a C++ reproduction of "High Performance
+// Stencil Code Generation with Lift" (CGO 2018).
+//
+// Compares two BENCH_*.json snapshots (a committed baseline and a
+// fresh run) metric by metric and exits nonzero when the fresh run
+// regressed past the noise threshold. The perf-smoke CI job runs the
+// bench harnesses with --json and diffs against the snapshots at the
+// repo root.
+//
+//   bench_diff <baseline.json> <current.json>
+//              [--max-ratio R]   worst allowed slowdown (default 1.75x,
+//                                chosen so an injected 2x trips but
+//                                scheduler jitter does not)
+//              [--min-ns N]      ignore ns_per_iter rows faster than N
+//                                (default 1.0 ns: sub-nanosecond loops
+//                                are pure noise)
+//              [--min-ms M]      ignore *_ms values below M in both
+//                                snapshots (default 0.02 ms)
+//
+// Row identity is the tuple of the row's string fields ("name" plus
+// "variant"/"grid"/... when present), so renaming a benchmark reads
+// as a removal. A row present in the baseline but missing from the
+// current snapshot is a failure: silently losing coverage is the
+// regression CI exists to catch. Metric direction comes from the
+// name: *_ms / ns_per_iter / *_seconds are lower-is-better,
+// *_per_sec / speedup are higher-is-better, anything else
+// (iterations, max_err, memo_hits, the "meta" provenance block, ...)
+// is informational and skipped.
+//
+// Exit codes: 0 within thresholds, 1 regression or missing row,
+// 2 usage / parse error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using lift::obs::json::Value;
+
+namespace {
+
+struct Options {
+  double MaxRatio = 1.75;
+  double MinNs = 1.0;
+  double MinMs = 0.02;
+};
+
+/// lower-is-better / higher-is-better / not a perf metric.
+enum class Direction { Lower, Higher, Skip };
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  std::size_t N = std::strlen(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+Direction metricDirection(const std::string &Key) {
+  if (endsWith(Key, "_ms") || endsWith(Key, "_seconds") ||
+      Key == "ns_per_iter")
+    return Direction::Lower;
+  if (endsWith(Key, "_per_sec") || Key == "speedup")
+    return Direction::Higher;
+  return Direction::Skip;
+}
+
+/// A value too small for the ratio test to mean anything: timer
+/// granularity and scheduler jitter dominate.
+bool belowNoiseFloor(const Options &O, const std::string &Key, double Base,
+                     double Cur) {
+  if (Key == "ns_per_iter")
+    return Base < O.MinNs && Cur < O.MinNs;
+  if (endsWith(Key, "_ms"))
+    return Base < O.MinMs && Cur < O.MinMs;
+  if (endsWith(Key, "_seconds"))
+    return Base < O.MinMs * 1e-3 && Cur < O.MinMs * 1e-3;
+  return false;
+}
+
+/// "name=BM_Baseline variant=global": every string field of the row,
+/// in insertion order, identifies it across the two snapshots.
+std::string rowKey(const Value &Row) {
+  std::string Key;
+  for (const auto &KV : Row.object())
+    if (KV.second.kind() == Value::Kind::String)
+      Key += KV.first + "=" + KV.second.asString() + " ";
+  if (!Key.empty())
+    Key.pop_back();
+  return Key;
+}
+
+struct RowTable {
+  std::string Section; ///< the array's key, e.g. "benchmarks"
+  std::vector<const Value *> Rows;
+};
+
+/// Collects every top-level array-of-objects as a row table. The
+/// "meta" block and scalar config fields (threads, jobs, ...) are
+/// left alone by construction.
+std::vector<RowTable> rowTables(const Value &Doc) {
+  std::vector<RowTable> Tables;
+  if (Doc.kind() != Value::Kind::Object)
+    return Tables;
+  for (const auto &KV : Doc.object()) {
+    if (KV.second.kind() != Value::Kind::Array)
+      continue;
+    RowTable T;
+    T.Section = KV.first;
+    for (const Value &Row : KV.second.array())
+      if (Row.kind() == Value::Kind::Object)
+        T.Rows.push_back(&Row);
+    if (!T.Rows.empty())
+      Tables.push_back(std::move(T));
+  }
+  return Tables;
+}
+
+const Value *findRow(const RowTable &T, const std::string &Key) {
+  for (const Value *Row : T.Rows)
+    if (rowKey(*Row) == Key)
+      return Row;
+  return nullptr;
+}
+
+bool loadJson(const char *Path, Value &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", Path);
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Error;
+  if (!lift::obs::json::parse(SS.str(), Out, &Error)) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", Path, Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <baseline.json> <current.json>\n"
+               "                  [--max-ratio R] [--min-ns N] [--min-ms M]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O;
+  std::vector<const char *> Paths;
+  for (int I = 1; I < argc; ++I) {
+    auto NextDouble = [&](double &Out) {
+      if (I + 1 >= argc)
+        return false;
+      Out = std::atof(argv[++I]);
+      return Out > 0;
+    };
+    if (std::strcmp(argv[I], "--max-ratio") == 0) {
+      if (!NextDouble(O.MaxRatio))
+        return usage();
+    } else if (std::strcmp(argv[I], "--min-ns") == 0) {
+      if (!NextDouble(O.MinNs))
+        return usage();
+    } else if (std::strcmp(argv[I], "--min-ms") == 0) {
+      if (!NextDouble(O.MinMs))
+        return usage();
+    } else if (argv[I][0] == '-') {
+      return usage();
+    } else {
+      Paths.push_back(argv[I]);
+    }
+  }
+  if (Paths.size() != 2)
+    return usage();
+
+  Value Base, Cur;
+  if (!loadJson(Paths[0], Base) || !loadJson(Paths[1], Cur))
+    return 2;
+
+  unsigned Compared = 0, Regressions = 0, Missing = 0;
+  for (const RowTable &BT : rowTables(Base)) {
+    // The same section in the current snapshot, or an empty table.
+    RowTable CT;
+    for (RowTable &T : rowTables(Cur))
+      if (T.Section == BT.Section)
+        CT = std::move(T);
+    for (const Value *BRow : BT.Rows) {
+      std::string Key = rowKey(*BRow);
+      const Value *CRow = findRow(CT, Key);
+      if (!CRow) {
+        std::printf("MISSING  %s/%s\n", BT.Section.c_str(), Key.c_str());
+        ++Missing;
+        continue;
+      }
+      for (const auto &KV : BRow->object()) {
+        Direction Dir = metricDirection(KV.first);
+        if (Dir == Direction::Skip ||
+            KV.second.kind() != Value::Kind::Number)
+          continue;
+        const Value *CV = CRow->find(KV.first);
+        if (!CV || CV->kind() != Value::Kind::Number)
+          continue;
+        double B = KV.second.asNumber(), C = CV->asNumber();
+        ++Compared;
+        if (belowNoiseFloor(O, KV.first, B, C))
+          continue;
+        // Ratio of (current cost) to (baseline cost); > MaxRatio is a
+        // regression in either direction convention.
+        double Ratio;
+        if (Dir == Direction::Lower)
+          Ratio = B > 0 ? C / B : (C > 0 ? O.MaxRatio + 1 : 1);
+        else
+          Ratio = C > 0 ? B / C : (B > 0 ? O.MaxRatio + 1 : 1);
+        if (Ratio > O.MaxRatio) {
+          std::printf("REGRESSED  %s/%s %s: %.4g -> %.4g (%.2fx, limit "
+                      "%.2fx)\n",
+                      BT.Section.c_str(), Key.c_str(), KV.first.c_str(), B,
+                      C, Ratio, O.MaxRatio);
+          ++Regressions;
+        }
+      }
+    }
+  }
+
+  if (Missing || Regressions) {
+    std::printf("bench_diff: FAIL (%u regression%s, %u missing row%s, %u "
+                "metric%s compared)\n",
+                Regressions, Regressions == 1 ? "" : "s", Missing,
+                Missing == 1 ? "" : "s", Compared, Compared == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("bench_diff: OK (%u metric%s compared, max ratio %.2fx)\n",
+              Compared, Compared == 1 ? "" : "s", O.MaxRatio);
+  return 0;
+}

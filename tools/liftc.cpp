@@ -11,12 +11,13 @@
 //   liftc emit  <benchmark> [variant options]
 //   liftc run   <benchmark> [variant options] [--extents a,b,c]
 //   liftc tune  <benchmark> [--device <name>] [--large] [--jobs <n>]
+//   liftc profile <benchmark> [variant options] [--extents a,b,c]
 //
 // Variant options: --tile <v> --local --unroll --coarsen <c>
 //                  --tile-coarsen <c>
 //
 // Observability (every command): --trace=<file> --metrics=<file>
-//                                --obs-report
+//                                --calibration=<file> --obs-report
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +28,8 @@
 #include "ir/StructuralHash.h"
 #include "ir/TypeInference.h"
 #include "native/NativeRunner.h"
+#include "native/Peaks.h"
+#include "native/Profiler.h"
 #include "obs/Obs.h"
 #include "ocl/Emitter.h"
 #include "rewrite/Exploration.h"
@@ -60,6 +63,9 @@ int usage() {
       "                                execute on the simulator\n"
       "  tune <bench> [--device <NvidiaK20c|AmdHd7970|MaliT628>] [--large]\n"
       "               [--jobs <n>]      search the implementation space\n"
+      "  profile <bench> [variant] [--extents a,b,c] [--json <file>]\n"
+      "                                per-region timers + static work\n"
+      "                                counts + roofline report (native)\n"
       "variant: --tile <v> [--local] [--tile-coarsen <c>] | --coarsen <c>;"
       " plus [--unroll]\n"
       "backend (emit/run/tune): --backend <sim|native>. native emits C,\n"
@@ -73,9 +79,16 @@ int usage() {
 "  or running; --check-bounds statically proves every buffer access\n"
 "  in bounds (prints a violation report and exits 1 otherwise; 'run'\n"
 "  and --extents make the check concrete, plain 'emit' is symbolic)\n"
+      "profiling: 'profile' (or --profile on run/tune with the native\n"
+      "  backend) recompiles the kernel with per-region monotonic timers\n"
+      "  and reports seconds, bytes, FLOPs, GB/s, GFLOP/s and arithmetic\n"
+      "  intensity per loop-nest region against STREAM-style machine\n"
+      "  peaks (--no-peaks skips the probe); --json <file> writes the\n"
+      "  same report as JSON\n"
       "observability (any command): --trace=<file> (Chrome trace_event\n"
       "  JSON for chrome://tracing / ui.perfetto.dev), --metrics=<file>\n"
-      "  (metrics + tuner flight records as JSON), --obs-report\n");
+      "  (metrics + tuner flight records as JSON), --calibration=<file>\n"
+      "  (modeled-vs-measured tuner calibration as JSON), --obs-report\n");
   return 1;
 }
 
@@ -92,6 +105,9 @@ struct Args {
   unsigned Repeats = 3;
   bool Specialize = false;
   bool CheckBounds = false;
+  bool Profile = false;
+  bool NoPeaks = false;
+  std::string ProfileJson;
   obs::ObsOptions Obs;
 };
 
@@ -159,6 +175,14 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
         return false;
     } else if (Opt == "--specialize") {
       A.Specialize = true;
+    } else if (Opt == "--profile") {
+      A.Profile = true;
+    } else if (Opt == "--no-peaks") {
+      A.NoPeaks = true;
+    } else if (Opt == "--json") {
+      if (I + 1 >= Argc)
+        return false;
+      A.ProfileJson = Argv[++I];
     } else if (Opt == "--check-bounds") {
       A.CheckBounds = true;
     } else if (Opt == "--large") {
@@ -254,6 +278,86 @@ bool applyAnalysis(const Args &A, Compiled &C,
   return true;
 }
 
+std::string extentsString(const Extents &E) {
+  std::string S;
+  for (std::size_t D = 0; D != E.size(); ++D)
+    S += (D ? "x" : "") + std::to_string((long long)E[D]);
+  return S;
+}
+
+/// Shared core of `liftc profile` and `--profile` on run/tune:
+/// recompiles \p C in profile mode, executes it, joins the region
+/// timers with static work counts, validates against the golden
+/// implementation and renders the roofline report (text to stdout,
+/// JSON to --json when given, Chrome-trace spans into --trace).
+int profileCompiled(const Args &A, const Benchmark &B,
+                    const BenchmarkInstance &I, const ir::Program &Low,
+                    const Compiled &C, const Extents &E,
+                    const std::vector<std::vector<float>> &Inputs,
+                    const std::string &Variant) {
+  native::ProfiledKernelRun Run;
+  try {
+    native::probeToolchain();
+    std::size_t Hash = ir::structuralHash(Low);
+    if (A.Specialize)
+      Hash ^= 0xA5A5A5A5A5A5A5A5ULL;
+    native::MachinePeaks Peaks;
+    const native::MachinePeaks *PeaksPtr = nullptr;
+    if (!A.NoPeaks) {
+      Peaks = native::probeMachinePeaks();
+      PeaksPtr = &Peaks;
+    }
+    Run = native::profileKernel(C, Hash, Inputs, makeSizeEnv(I, E),
+                                A.Warmup, A.Repeats, {}, PeaksPtr);
+  } catch (const native::NativeError &Ex) {
+    std::fprintf(stderr, "error: profiling failed: %s\n", Ex.what());
+    return 1;
+  }
+  Run.P.Variant = Variant;
+  Run.P.Grid = extentsString(E);
+
+  std::vector<float> Want = B.Golden(Inputs, E);
+  double MaxErr = 0;
+  for (std::size_t X = 0; X != Want.size(); ++X)
+    MaxErr = std::max(MaxErr, double(std::abs(Run.Output[X] - Want[X])));
+
+  std::printf("%s", Run.P.toText().c_str());
+  std::printf("max |err| vs golden  %.3g\n", MaxErr);
+  if (!A.ProfileJson.empty()) {
+    std::FILE *F = std::fopen(A.ProfileJson.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   A.ProfileJson.c_str());
+      return 1;
+    }
+    std::string Json = Run.P.toJsonString();
+    std::fwrite(Json.data(), 1, Json.size(), F);
+    std::fclose(F);
+  }
+  Run.P.emitTraceSpans();
+  return MaxErr < 1e-3 ? 0 : 1;
+}
+
+int cmdProfile(const Args &A) {
+  const Benchmark &B = findBenchmark(A.Bench);
+  BenchmarkInstance I = B.Build();
+  ir::Program Low = lowerOrDie(B, I, A.Options);
+  Compiled C = compileProgram(Low, B.Name);
+  Extents E = A.ExtentsOverride.empty() ? B.MeasureExtents
+                                        : A.ExtentsOverride;
+  if (E.size() != B.Dims) {
+    std::fprintf(stderr, "error: %s needs %u extents\n", B.Name.c_str(),
+                 B.Dims);
+    return 1;
+  }
+  auto Env = makeSizeEnv(I, E);
+  if (!applyAnalysis(A, C, &Env))
+    return 1;
+  std::vector<std::vector<float>> Inputs = makeBenchmarkInputs(B, E);
+  return profileCompiled(A, B, I, Low, C, E, Inputs,
+                         A.Options.describe());
+}
+
 /// run --backend native: compile the emitted C, execute for real and
 /// report wall-clock time alongside the golden validation.
 int cmdRunNative(const Args &A, const Benchmark &B,
@@ -294,7 +398,13 @@ int cmdRunNative(const Args &A, const Benchmark &B,
               A.Repeats);
   std::printf("throughput        %.3f GElem/s\n",
               double(totalElems(E)) / R.Seconds / 1e9);
-  return MaxErr < 1e-3 ? 0 : 1;
+  int RC = MaxErr < 1e-3 ? 0 : 1;
+  if (A.Profile) {
+    int PRC = profileCompiled(A, B, I, Low, C, E, Inputs,
+                              A.Options.describe());
+    RC = RC ? RC : PRC;
+  }
+  return RC;
 }
 
 int cmdRun(const Args &A) {
@@ -340,7 +450,15 @@ int cmdRun(const Args &A) {
               (unsigned long long)(Ct.LocalLoads + Ct.LocalStores));
   std::printf("user-fun flops    %llu\n", (unsigned long long)Ct.Flops);
   std::printf("barriers          %llu\n", (unsigned long long)Ct.Barriers);
-  return MaxErr < 1e-3 ? 0 : 1;
+  int RC = MaxErr < 1e-3 ? 0 : 1;
+  if (A.Profile) {
+    // Profiling always runs through the native backend, regardless of
+    // which backend executed the validation run above.
+    int PRC = profileCompiled(A, B, I, Low, C, E, Inputs,
+                              A.Options.describe());
+    RC = RC ? RC : PRC;
+  }
+  return RC;
 }
 
 int cmdTune(const Args &A) {
@@ -407,6 +525,17 @@ int cmdTune(const Args &A) {
               R.All.size() + std::size_t(R.Prunes.total()),
               R.Prunes.describe().c_str(),
               (unsigned long long)R.MemoHits);
+  if (A.Profile && !R.All.empty()) {
+    // Profile the winning candidate on the tuning target grid.
+    const tuner::Candidate &Best = R.All.front().C;
+    std::printf("\nprofiling best candidate %s\n", Best.describe().c_str());
+    ir::Program Low = lowerOrDie(B, P.Instance, Best.Options);
+    Compiled C = compileProgram(Low, B.Name);
+    std::vector<std::vector<float>> Inputs =
+        makeBenchmarkInputs(B, P.Target);
+    return profileCompiled(A, B, P.Instance, Low, C, P.Target, Inputs,
+                           Best.describe());
+  }
   return 0;
 }
 
@@ -498,6 +627,8 @@ int main(int Argc, char **Argv) {
     return Done(cmdRun(A));
   if (A.Command == "tune")
     return Done(cmdTune(A));
+  if (A.Command == "profile")
+    return Done(cmdProfile(A));
 
   return usage();
 }

@@ -7,6 +7,7 @@
 // for quick local sanity checks:
 //
 //   trace_check --trace t.json [--expect-span NAME]...
+//               [--expect-span-prefix PREFIX]...
 //   trace_check --metrics m.json [--expect-counter NAME]...
 //
 // A trace file must parse as JSON, carry a "traceEvents" array, and
@@ -14,7 +15,10 @@
 // ph, pid, tid, ts; complete "X" events also dur). A metrics file must
 // parse and carry the {"metrics": {...}, "tunes": [...]} document
 // shape. --expect-span/--expect-counter assert that a span name
-// appears among the events / a counter key exists in the dump.
+// appears among the events / a counter key exists in the dump;
+// --expect-span-prefix matches any span starting with the prefix
+// (profile-region spans embed the region's loop variable, e.g.
+// "profile.region.glb.i0", so exact names vary by kernel).
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +38,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: trace_check [--trace <file>] [--expect-span <name>]...\n"
+               "                   [--expect-span-prefix <prefix>]...\n"
                "                   [--metrics <file>] [--expect-counter "
                "<name>]...\n");
   return 2;
@@ -66,7 +71,8 @@ bool parseFile(const std::string &Path, Value &Doc) {
 
 /// Chrome trace_event structural validation + span-name collection.
 bool checkTrace(const std::string &Path,
-                const std::vector<std::string> &ExpectSpans) {
+                const std::vector<std::string> &ExpectSpans,
+                const std::vector<std::string> &ExpectSpanPrefixes) {
   Value Doc;
   if (!parseFile(Path, Doc))
     return false;
@@ -124,6 +130,20 @@ bool checkTrace(const std::string &Path,
       Ok = false;
     }
   }
+  for (const std::string &Prefix : ExpectSpanPrefixes) {
+    bool Found = false;
+    for (const std::string &Have : SpanNames)
+      if (Have.compare(0, Prefix.size(), Prefix) == 0) {
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      std::fprintf(stderr,
+                   "trace_check: %s: no span with prefix \"%s\"\n",
+                   Path.c_str(), Prefix.c_str());
+      Ok = false;
+    }
+  }
   if (Ok)
     std::printf("trace_check: %s: %zu events, %zu spans, OK\n", Path.c_str(),
                 Idx, SpanNames.size());
@@ -171,7 +191,7 @@ bool checkMetrics(const std::string &Path,
 
 int main(int Argc, char **Argv) {
   std::string TracePath, MetricsPath;
-  std::vector<std::string> ExpectSpans, ExpectCounters;
+  std::vector<std::string> ExpectSpans, ExpectSpanPrefixes, ExpectCounters;
   for (int I = 1; I < Argc; ++I) {
     std::string Opt = Argv[I];
     auto Next = [&](std::string &Out) {
@@ -187,6 +207,8 @@ int main(int Argc, char **Argv) {
       MetricsPath = V;
     else if (Opt == "--expect-span" && Next(V))
       ExpectSpans.push_back(V);
+    else if (Opt == "--expect-span-prefix" && Next(V))
+      ExpectSpanPrefixes.push_back(V);
     else if (Opt == "--expect-counter" && Next(V))
       ExpectCounters.push_back(V);
     else
@@ -197,7 +219,7 @@ int main(int Argc, char **Argv) {
 
   bool Ok = true;
   if (!TracePath.empty())
-    Ok &= checkTrace(TracePath, ExpectSpans);
+    Ok &= checkTrace(TracePath, ExpectSpans, ExpectSpanPrefixes);
   if (!MetricsPath.empty())
     Ok &= checkMetrics(MetricsPath, ExpectCounters);
   return Ok ? 0 : 1;
