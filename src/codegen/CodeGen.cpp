@@ -109,6 +109,8 @@ private:
     case Prim::Join:
     case Prim::Transpose:
     case Prim::Slide:
+    case Prim::SlideClamp:
+    case Prim::JoinClamp:
     case Prim::Pad:
     case Prim::At:
     case Prim::Get:
@@ -204,6 +206,18 @@ private:
       return vTranspose(valueOf(C.getArgs()[0]));
     case Prim::Slide:
       return vSlide(C.Size, C.Step, valueOf(C.getArgs()[0]));
+    case Prim::SlideClamp: {
+      // Window w starts at min(w*step, n - size).
+      const TypePtr &InTy = C.getArgs()[0]->getType();
+      return vSlideClamped(C.Size, C.Step, sub(InTy->getSize(), C.Size),
+                           valueOf(C.getArgs()[0]));
+    }
+    case Prim::JoinClamp: {
+      // Element o lives in tile o/k at offset o - min((o/k)*k, m - k).
+      const TypePtr &InTy = C.getArgs()[0]->getType();
+      AExpr K = InTy->getElem()->getSize();
+      return vJoinClamped(K, sub(C.Size, K), valueOf(C.getArgs()[0]));
+    }
     case Prim::Pad: {
       const TypePtr &InTy = C.getArgs()[0]->getType();
       return vPad(C.PadL, InTy->getSize(), C.Bdy, valueOf(C.getArgs()[0]));
@@ -285,6 +299,17 @@ private:
         const TypePtr &ArgTy = C->getArgs()[0]->getType();
         genToView(C->getArgs()[0],
                   vSplit(ArgTy->getElem()->getSize(), Out));
+        return;
+      }
+      if (C->getPrim() == Prim::JoinClamp) {
+        // The producer's tile w element j must land at out[min(w*k,
+        // m-k)+j]: exactly a clamped slide view of the output buffer.
+        // Overlap positions are stored more than once with identical
+        // values (last writer wins).
+        const TypePtr &ArgTy = C->getArgs()[0]->getType();
+        AExpr K = ArgTy->getElem()->getSize();
+        genToView(C->getArgs()[0],
+                  vSlideClamped(K, K, sub(C->Size, K), Out));
         return;
       }
       if (C->getPrim() == Prim::Split) {
@@ -412,6 +437,23 @@ private:
         return std::nullopt;
       return std::function<ViewPtr(const ViewPtr &)>(
           [M, Rec](const ViewPtr &V) { return (*Rec)(vSplit(M, V)); });
+    }
+    case Prim::JoinClamp: {
+      // forward joinClamp merges [t][k] -> [m] with clamped tile
+      // starts; inverse views the output as a clamped k/k slide.
+      const TypePtr &InnerTy = Inner->getType();
+      if (!InnerTy || InnerTy->getKind() != Type::Kind::Array ||
+          InnerTy->getElem()->getKind() != Type::Kind::Array)
+        return std::nullopt;
+      AExpr K = InnerTy->getElem()->getSize();
+      AExpr ClampMax = sub(C->Size, K);
+      auto Rec = buildElementInverse(Inner, P);
+      if (!Rec)
+        return std::nullopt;
+      return std::function<ViewPtr(const ViewPtr &)>(
+          [K, ClampMax, Rec](const ViewPtr &V) {
+            return (*Rec)(vSlideClamped(K, K, ClampMax, V));
+          });
     }
     case Prim::Split: {
       AExpr M = C->Factor;

@@ -57,6 +57,25 @@ ViewPtr lift::codegen::vSlide(AExpr Size, AExpr Step, ViewPtr Base) {
   return V;
 }
 
+ViewPtr lift::codegen::vSlideClamped(AExpr Size, AExpr Step, AExpr ClampMax,
+                                     ViewPtr Base) {
+  auto V = makeView(View::Kind::Slide);
+  V->Size = std::move(Size);
+  V->Step = std::move(Step);
+  V->ClampMax = std::move(ClampMax);
+  V->Base = std::move(Base);
+  return V;
+}
+
+ViewPtr lift::codegen::vJoinClamped(AExpr InnerSize, AExpr ClampMax,
+                                    ViewPtr Base) {
+  auto V = makeView(View::Kind::Join);
+  V->InnerSize = std::move(InnerSize);
+  V->ClampMax = std::move(ClampMax);
+  V->Base = std::move(Base);
+  return V;
+}
+
 ViewPtr lift::codegen::vPad(AExpr PadLeft, AExpr PadInnerLen, Boundary B,
                             ViewPtr Base) {
   auto V = makeView(View::Kind::Pad);
@@ -194,8 +213,18 @@ static KExprPtr resolveRec(const ViewPtr &V, ResolveState &S,
     assert(!S.IdxStack.empty() && "join view needs an applied index");
     AExpr K = S.IdxStack.back();
     S.IdxStack.pop_back();
-    S.IdxStack.push_back(floorMod(K, V->InnerSize));
-    S.IdxStack.push_back(floorDiv(K, V->InnerSize));
+    if (V->ClampMax) {
+      // Clamped tile grid: element k lives in tile w = k/m at offset
+      // k - start(w), start(w) = min(w*m, ClampMax). Tile k/m always
+      // covers position k: overlap positions hold identical values in
+      // every covering tile, so reading the canonical one is exact.
+      AExpr W = floorDiv(K, V->InnerSize);
+      S.IdxStack.push_back(sub(K, amin(mul(W, V->InnerSize), V->ClampMax)));
+      S.IdxStack.push_back(W);
+    } else {
+      S.IdxStack.push_back(floorMod(K, V->InnerSize));
+      S.IdxStack.push_back(floorDiv(K, V->InnerSize));
+    }
     return resolveRec(V->Base, S, CB);
   }
 
@@ -205,7 +234,9 @@ static KExprPtr resolveRec(const ViewPtr &V, ResolveState &S,
     S.IdxStack.pop_back();
     AExpr Offset = S.IdxStack.back();
     S.IdxStack.pop_back();
-    S.IdxStack.push_back(add(mul(Window, V->Step), Offset));
+    AExpr Start = V->ClampMax ? amin(mul(Window, V->Step), V->ClampMax)
+                              : mul(Window, V->Step);
+    S.IdxStack.push_back(add(std::move(Start), Offset));
     return resolveRec(V->Base, S, CB);
   }
 

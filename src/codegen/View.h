@@ -71,6 +71,11 @@ public:
   AExpr ChunkSize;               ///< Split m
   AExpr InnerSize;               ///< Join m
   AExpr Size, Step;              ///< Slide
+  /// Clamped variants (remainder tiles): when set on a Slide, window w
+  /// starts at min(w*step, ClampMax) instead of w*step; when set on a
+  /// Join, tile w starts at min(w*m, ClampMax) and element [k] maps to
+  /// base[k / m][k - min((k / m)*m, ClampMax)].
+  AExpr ClampMax;
   AExpr PadLeft, PadInnerLen;    ///< Pad: l and the unpadded length n
   ir::Boundary Bdy;              ///< Pad
   AExpr Index;                   ///< Access
@@ -87,6 +92,13 @@ ViewPtr vTuple(std::vector<ViewPtr> Comps);
 ViewPtr vSplit(AExpr ChunkSize, ViewPtr Base);
 ViewPtr vJoin(AExpr InnerSize, ViewPtr Base);
 ViewPtr vSlide(AExpr Size, AExpr Step, ViewPtr Base);
+/// Slide with clamped window starts: window w covers
+/// base[min(w*step, ClampMax) + j]. ClampMax is n - size, so the last
+/// window is shifted left to stay in bounds (remainder tiles).
+ViewPtr vSlideClamped(AExpr Size, AExpr Step, AExpr ClampMax, ViewPtr Base);
+/// Join of a clamped tile grid: element [k] maps to
+/// base[w][k - min(w*m, ClampMax)] with w = k / m and ClampMax = out - m.
+ViewPtr vJoinClamped(AExpr InnerSize, AExpr ClampMax, ViewPtr Base);
 ViewPtr vPad(AExpr PadLeft, AExpr PadInnerLen, ir::Boundary B, ViewPtr Base);
 ViewPtr vTranspose(ViewPtr Base);
 ViewPtr vAccess(AExpr Index, ViewPtr Base);

@@ -144,15 +144,14 @@ Rule buggyPadMergeRule() {
   return R;
 }
 
-/// Picks the largest v <= 8 producing an exact tile fit in every
-/// dimension, or 0 when none exists (or tiling is not applicable).
-std::int64_t pickTileOutputs(const ProgramSpec &S) {
+/// Per-dimension output extents at the concrete sizes; the layout
+/// chain only affects the outermost dimension and only Pad ops change
+/// its length. Empty when tiling is not applicable to the spec.
+std::vector<std::int64_t> tiledOutputExtents(const ProgramSpec &S) {
   if (S.Tmpl != Template::Stencil && S.Tmpl != Template::ZipStencil)
-    return 0;
-  if (S.WinStep != 1 || S.SymbolicOuter)
-    return 0;
-  // Per-dimension output extents; the layout chain only affects the
-  // outermost dimension and only Pad ops change its length.
+    return {};
+  if (S.WinStep != 1)
+    return {};
   std::vector<std::int64_t> Out;
   for (unsigned D = 0; D != S.Dims; ++D) {
     std::int64_t Len = S.Extents[D];
@@ -163,17 +162,37 @@ std::int64_t pickTileOutputs(const ProgramSpec &S) {
     Len += S.PadL + S.PadR;
     std::int64_t OutD = Len - S.WinSize + 1;
     if (OutD < 1)
-      return 0;
+      return {};
     Out.push_back(OutD);
   }
+  return Out;
+}
+
+/// Picks the tile size for the tiled oracle: the largest v <= 8 that
+/// *fits* every output dimension (v <= extent). Exact fits are no
+/// longer required — the clamped remainder-tile lowering handles any
+/// fitting v — so the picker prefers a v that leaves a remainder in
+/// some dimension, exercising the tail-tile path whenever the spec's
+/// extents allow it. Returns 0 when tiling is not applicable.
+std::int64_t pickTileOutputs(const std::vector<std::int64_t> &Out) {
+  if (Out.empty())
+    return 0;
+  std::int64_t Fallback = 0;
   for (std::int64_t V = 8; V >= 2; --V) {
     bool Fits = true;
-    for (std::int64_t O : Out)
-      Fits &= O % V == 0;
-    if (Fits)
+    bool Remainder = false;
+    for (std::int64_t O : Out) {
+      Fits &= V <= O;
+      Remainder |= O % V != 0;
+    }
+    if (!Fits)
+      continue;
+    if (Remainder)
       return V;
+    if (!Fallback)
+      Fallback = V;
   }
-  return 0;
+  return Fallback;
 }
 
 DiffResult discarded(std::string Why) {
@@ -274,11 +293,15 @@ DiffResult lift::fuzz::runDifferential(const ProgramSpec &S,
   std::vector<std::string> Applied;
   unsigned RewriteSkips = 0;
   unsigned BoundsUnproven = 0;
+  unsigned TiledRemainder = 0;
+  unsigned TiledIndivisible = 0;
   // Attaches the telemetry counts to whatever result the oracles
   // produce.
   auto Finish = [&](DiffResult R) {
     R.RewriteSkips = RewriteSkips;
     R.BoundsUnproven = BoundsUnproven;
+    R.TiledRemainder = TiledRemainder;
+    R.TiledIndivisible = TiledIndivisible;
     return R;
   };
   for (std::uint32_t Pick : S.RewritePicks) {
@@ -367,14 +390,32 @@ DiffResult lift::fuzz::runDifferential(const ProgramSpec &S,
             Low, C, "native executor vs interpreter", RefFlat, *B, O))
       return Finish(*NR);
 
-  // (e) Tiled lowering, when an exact tile fit exists.
+  // (e) Tiled lowering, whenever a tile fits (exact fit NOT required:
+  // the clamped lowering handles remainder tails).
   if (O.TryTiled) {
-    if (std::int64_t V = pickTileOutputs(S)) {
+    std::vector<std::int64_t> OutExt = tiledOutputExtents(S);
+    if (std::int64_t V = pickTileOutputs(OutExt)) {
       LoweringOptions TO;
       TO.Tile = true;
       TO.TileOutputs = V;
+      bool Remainder = false;
+      for (std::int64_t OD : OutExt)
+        Remainder |= OD % V != 0;
       std::string TWhy;
-      if (Program TLow = lowerStencil(B->P, TO, &TWhy)) {
+      Program TLow = lowerStencil(B->P, TO, &TWhy);
+      if (!TLow && TWhy.find("tile-indivisible") != std::string::npos) {
+        // The picker judged this tile legal; a tile-indivisibility
+        // refusal here means the lowering lost a case the clamped
+        // scheme claims to support. Counted separately so campaigns
+        // can assert it never happens.
+        TiledIndivisible = 1;
+        obs::Registry::global().counter("fuzz.tiled.indivisible").inc();
+      }
+      if (TLow) {
+        if (Remainder) {
+          TiledRemainder = 1;
+          obs::Registry::global().counter("fuzz.tiled.remainder").inc();
+        }
         Compiled TC = compileProgram(TLow, "fuzz_tiled");
         RunResult TSeq =
             runCompiled(TC, B->Flat, B->Sizes, ocl::CacheConfig(), 1);
@@ -416,6 +457,8 @@ CampaignStats lift::fuzz::runCampaign(std::uint64_t Seed, unsigned Count,
     DiffResult R = runDifferential(S, O.Diff);
     Stats.RewriteSkips += R.RewriteSkips;
     Stats.BoundsUnproven += R.BoundsUnproven;
+    Stats.TiledRemainder += R.TiledRemainder;
+    Stats.TiledIndivisible += R.TiledIndivisible;
     switch (R.Status) {
     case DiffStatus::Ok:
       ++Stats.Ok;

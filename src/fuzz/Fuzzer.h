@@ -173,6 +173,14 @@ struct DiffResult {
   /// DiffOptions::CheckBounds only: kernel accesses the static bounds
   /// prover could not discharge at the concrete sizes.
   unsigned BoundsUnproven = 0;
+  /// TryTiled only: 1 when the tiled oracle ran with a tile that does
+  /// not divide some output extent (a clamped remainder tile was
+  /// exercised end to end).
+  unsigned TiledRemainder = 0;
+  /// TryTiled only: 1 when a tile the picker judged legal was refused
+  /// by the tiled lowering as tile-indivisible. Always a bug in either
+  /// the picker or the lowering; campaigns are expected to report 0.
+  unsigned TiledIndivisible = 0;
 };
 
 /// Runs one spec through all oracles. Deterministic: equal specs give
@@ -208,6 +216,11 @@ struct CampaignStats {
   unsigned RewriteSkips = 0;
   /// Total statically-unproven kernel accesses (CheckBounds only).
   unsigned BoundsUnproven = 0;
+  /// Specs whose tiled oracle exercised a clamped remainder tile.
+  unsigned TiledRemainder = 0;
+  /// Specs whose tiled lowering refused a tile the picker judged
+  /// legal (tile-indivisible). Expected to be 0 in every campaign.
+  unsigned TiledIndivisible = 0;
   std::vector<CampaignFailure> Failures;
 };
 

@@ -227,6 +227,59 @@ private:
       return Value::array(std::move(Out));
     }
 
+    case Prim::SlideClamp: {
+      Value In = eval(C.getArgs()[0]);
+      std::int64_t Size = evalSize(C.Size);
+      std::int64_t Step = evalSize(C.Step);
+      if (Size <= 0 || Step <= 0)
+        evalError("slideClamp parameters must be positive; got size " +
+                  std::to_string(Size) + ", step " + std::to_string(Step));
+      std::int64_t N = std::int64_t(In.size());
+      if (N < Size)
+        evalError("slideClamp window of size " + std::to_string(Size) +
+                  " larger than array of length " + std::to_string(N));
+      // ceil((n - size) / step) + 1 full-width windows; the last starts
+      // are clamped so every element is covered.
+      std::int64_t Count = floorDivInt(N - Size + Step - 1, Step) + 1;
+      std::vector<Value> Out;
+      Out.reserve(std::size_t(Count));
+      for (std::int64_t W = 0; W != Count; ++W) {
+        std::int64_t Start = std::min(W * Step, N - Size);
+        std::vector<Value> Window;
+        Window.reserve(std::size_t(Size));
+        for (std::int64_t J = 0; J != Size; ++J)
+          Window.push_back(In[std::size_t(Start + J)]);
+        Out.push_back(Value::array(std::move(Window)));
+      }
+      return Value::array(std::move(Out));
+    }
+
+    case Prim::JoinClamp: {
+      Value In = eval(C.getArgs()[0]);
+      std::int64_t M = evalSize(C.Size);
+      std::int64_t T = std::int64_t(In.size());
+      if (T == 0)
+        evalError("joinClamp of empty tile grid");
+      std::int64_t K = std::int64_t(In[0].size());
+      for (const Value &Tile : In.getElems())
+        if (std::int64_t(Tile.size()) != K)
+          evalError("joinClamp of ragged tile grid");
+      // Exactly t = ceil(m/k) tiles: (t-1)*k < m <= t*k, and k <= m.
+      if (K > M || T * K < M || (T - 1) * K >= M)
+        evalError("joinClamp tile grid " + std::to_string(T) + "x" +
+                  std::to_string(K) + " does not cover output length " +
+                  std::to_string(M));
+      std::vector<Value> Out(static_cast<std::size_t>(M));
+      // Ascending w so overlap positions get the last writer, matching
+      // the codegen store order; the written values are identical.
+      for (std::int64_t W = 0; W != T; ++W) {
+        std::int64_t Start = std::min(W * K, M - K);
+        for (std::int64_t J = 0; J != K; ++J)
+          Out[std::size_t(Start + J)] = In[std::size_t(W)][std::size_t(J)];
+      }
+      return Value::array(std::move(Out));
+    }
+
     case Prim::Pad: {
       Value In = eval(C.getArgs()[0]);
       std::int64_t L = evalSize(C.PadL);

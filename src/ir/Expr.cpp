@@ -43,6 +43,10 @@ const char *lift::ir::primName(Prim P) {
     return "sizeVal";
   case Prim::Slide:
     return "slide";
+  case Prim::SlideClamp:
+    return "slideClamp";
+  case Prim::JoinClamp:
+    return "joinClamp";
   case Prim::Pad:
     return "pad";
   case Prim::MapGlb:
@@ -271,6 +275,21 @@ ExprPtr lift::ir::slide(AExpr Size, AExpr Step, ExprPtr In) {
   return C;
 }
 
+ExprPtr lift::ir::slideClamp(AExpr Size, AExpr Step, ExprPtr In) {
+  auto C = std::make_shared<CallExpr>(Prim::SlideClamp,
+                                      std::vector<ExprPtr>{std::move(In)});
+  C->Size = std::move(Size);
+  C->Step = std::move(Step);
+  return C;
+}
+
+ExprPtr lift::ir::joinClamp(AExpr OutLen, ExprPtr In) {
+  auto C = std::make_shared<CallExpr>(Prim::JoinClamp,
+                                      std::vector<ExprPtr>{std::move(In)});
+  C->Size = std::move(OutLen);
+  return C;
+}
+
 ExprPtr lift::ir::pad(AExpr L, AExpr R, Boundary B, ExprPtr In) {
   auto C = std::make_shared<CallExpr>(Prim::Pad,
                                       std::vector<ExprPtr>{std::move(In)});
@@ -487,7 +506,11 @@ static std::string printRec(const ExprPtr &E) {
       Payload = C->Factor->toString();
       break;
     case Prim::Slide:
+    case Prim::SlideClamp:
       Payload = C->Size->toString() + ", " + C->Step->toString();
+      break;
+    case Prim::JoinClamp:
+      Payload = C->Size->toString();
       break;
     case Prim::Pad:
       Payload = C->PadL->toString() + ", " + C->PadR->toString() + ", " +

@@ -62,6 +62,14 @@ enum class Prim {
   // Stencil extensions (paper §3.2).
   Slide, ///< sliding window: size, step
   Pad,   ///< boundary handling: l, r, boundary function
+  // Remainder-tile extensions: the clamped duals of slide/join used by
+  // the tiling rule when the tile does not divide the extent. A
+  // slideClamp window w starts at min(w*step, n-size), so the last
+  // window is a full-width tile shifted left into bounds; joinClamp
+  // reassembles the resulting overlapping tile grid, overlap positions
+  // being rewritten with identical values (last writer wins).
+  SlideClamp, ///< clamped sliding window: size, step
+  JoinClamp,  ///< [[T]k]t -> [T]m with clamped tile offsets
   // OpenCL-specific low-level primitives (paper §4, §5).
   MapGlb, ///< map over global work-item ids in dimension Dim
   MapWrg, ///< map over work-group ids in dimension Dim
@@ -285,6 +293,16 @@ ExprPtr transpose(ExprPtr In);
 
 /// slide(size, step, in) — neighborhood creation (paper §3.2).
 ExprPtr slide(AExpr Size, AExpr Step, ExprPtr In);
+/// slideClamp(size, step, in) — like slide, but covers the whole input:
+/// produces ceil((n - size) / step) + 1 windows whose starts are
+/// clamped to min(w * step, n - size). Identical to slide when step
+/// divides n - size. Used by the tiling rule for remainder tiles.
+ExprPtr slideClamp(AExpr Size, AExpr Step, ExprPtr In);
+/// joinClamp(m, in) — merges [[T]k]t into [T]m, tile w's element j
+/// landing at min(w * k, m - k) + j. The inverse of slideClamp(k, k)
+/// over an array of length m; requires t = ceil(m / k) and k <= m.
+/// Overlapping positions are written more than once with equal values.
+ExprPtr joinClamp(AExpr OutLen, ExprPtr In);
 /// pad(l, r, boundary, in) — boundary handling (paper §3.2).
 ExprPtr pad(AExpr L, AExpr R, Boundary B, ExprPtr In);
 

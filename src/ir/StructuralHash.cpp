@@ -119,8 +119,12 @@ private:
       H = hashCombine(H, C.Factor->hash());
       break;
     case Prim::Slide:
+    case Prim::SlideClamp:
       H = hashCombine(H, C.Size->hash());
       H = hashCombine(H, C.Step->hash());
+      break;
+    case Prim::JoinClamp:
+      H = hashCombine(H, C.Size->hash());
       break;
     case Prim::Pad:
       H = hashCombine(H, C.PadL->hash());
@@ -255,7 +259,12 @@ private:
         return false;
       break;
     case Prim::Slide:
+    case Prim::SlideClamp:
       if (!exprEquals(A.Size, B.Size) || !exprEquals(A.Step, B.Step))
+        return false;
+      break;
+    case Prim::JoinClamp:
+      if (!exprEquals(A.Size, B.Size))
         return false;
       break;
     case Prim::Pad:

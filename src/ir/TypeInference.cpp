@@ -187,6 +187,26 @@ private:
       return arrayT(arrayT(InT->getElem(), C->Size), OutLen);
     }
 
+    case Prim::SlideClamp: {
+      TypePtr InT = arrayOrError(infer(C->getArgs()[0]), E);
+      // [T]n -> [[T]size]{ceil((n - size) / step) + 1}: every window is
+      // full-width, the last one clamped to start at n - size. Equals
+      // the slide count when step divides n - size.
+      AExpr OutLen =
+          add(floorDiv(sub(add(InT->getSize(), sub(C->Step, cst(1))), C->Size),
+                       C->Step),
+              cst(1));
+      return arrayT(arrayT(InT->getElem(), C->Size), OutLen);
+    }
+
+    case Prim::JoinClamp: {
+      TypePtr InT = arrayOrError(infer(C->getArgs()[0]), E);
+      TypePtr Inner = arrayOrError(InT->getElem(), E);
+      // [[T]k]t -> [T]m with tile w starting at min(w*k, m-k); m is the
+      // declared output extent (payload), validated at evaluation time.
+      return arrayT(Inner->getElem(), C->Size);
+    }
+
     case Prim::Pad: {
       TypePtr InT = arrayOrError(infer(C->getArgs()[0]), E);
       return arrayT(InT->getElem(),

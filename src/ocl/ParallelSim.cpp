@@ -11,6 +11,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <limits>
 
@@ -536,6 +537,20 @@ void ParallelExecutor::storeTo(int BufferId, std::int64_t Index, Scalar V,
   case MemSpace::Private:
     ++S.Counters.PrivateAccesses;
     break;
+  }
+  if (B.Space == MemSpace::Global) {
+    // Global buffers are shared across shards. Clamped (remainder)
+    // tilings store overlap positions from two adjacent work-groups —
+    // with identical values by construction — so the write-write race
+    // is benign; relaxed atomics keep it defined behavior.
+    if (B.Kind == ScalarKind::Float) {
+      std::atomic_ref<float>(B.F[std::size_t(Index)])
+          .store(V.asFloat(), std::memory_order_relaxed);
+      return;
+    }
+    std::atomic_ref<std::int32_t>(B.I[std::size_t(Index)])
+        .store(V.asInt(), std::memory_order_relaxed);
+    return;
   }
   if (B.Kind == ScalarKind::Float) {
     B.F[std::size_t(Index)] = V.asFloat();

@@ -18,6 +18,7 @@ using namespace lift;
 using namespace lift::ir;
 using namespace lift::rewrite;
 using lift::stencil::mapAtDepth;
+using lift::stencil::slideClampNd;
 using lift::stencil::slideNd;
 
 std::string LoweringOptions::describe() const {
@@ -120,9 +121,21 @@ ExprPtr buildLocalCopy(unsigned N, ExprPtr Tile, unsigned Depth = 0) {
 /// into the flat n-dim grid [t0*v0]..: the multi-dimensional inverse of
 /// the tiling rule's join (paper §4.1, Figure 6). Interleaves tile and
 /// intra-tile dimensions with transposes, then joins each pair.
-ExprPtr untileNd(unsigned N, ExprPtr E) {
+///
+/// When \p OutExt is non-empty the tile grid is ragged (clamped tiling:
+/// the last tile per dimension overlaps its neighbor) and dimension I
+/// is reassembled with joinClamp(OutExt[I]) instead of a plain join.
+ExprPtr untileNd(unsigned N, ExprPtr E,
+                 const std::vector<AExpr> &OutExt = {}) {
+  assert((OutExt.empty() || OutExt.size() == N) &&
+         "one output extent per dimension when clamping");
+  auto JoinDim = [&](unsigned I, ExprPtr X) {
+    if (!OutExt.empty())
+      return joinClamp(OutExt[I], std::move(X));
+    return join(std::move(X));
+  };
   if (N == 1)
-    return join(std::move(E));
+    return JoinDim(0, std::move(E));
   // Track dimension order: 0..N-1 are tile-grid dims, N..2N-1 are
   // intra-tile dims. Bring each vi right after ti by adjacent swaps.
   std::vector<unsigned> Order;
@@ -144,7 +157,8 @@ ExprPtr untileNd(unsigned N, ExprPtr E) {
   // Join each (ti, vi) pair; after joining pair i, it occupies one
   // dimension at depth i.
   for (unsigned I = 0; I != N; ++I)
-    E = mapAtDepth(I, [](ExprPtr X) { return join(std::move(X)); }, E);
+    E = mapAtDepth(I, [&](ExprPtr X) { return JoinDim(I, std::move(X)); },
+                   E);
   return E;
 }
 
@@ -214,6 +228,65 @@ Program lowerFail(std::string *WhyNot, const std::string &Reason) {
   return nullptr;
 }
 
+/// Decides between the clamped (remainder-legal) and exact tiling
+/// schemes and validates the tile shape against the per-dimension
+/// output extents. Returns true when the clamped scheme applies: at
+/// window step 1 every (extent, tile) combination is legal -- tails
+/// that do not fill a tile get a shifted full-width tile, and a
+/// concrete dimension *shorter* than the tile gets one full-width
+/// tile covering it (the caller clamps the per-dimension tile to
+/// min(k, extent)). Writes a diagnostic to \p Err only for genuinely
+/// unsupported shapes: a remainder fit at window step != 1, whose
+/// shifted tail tile would leave the output lattice (deferred).
+bool checkTileFit(unsigned N, std::int64_t TileOutputs, const AExpr &Step,
+                  const std::vector<AExpr> &OutExt, std::string *Err) {
+  bool StepOne =
+      Step->getKind() == ArithExpr::Kind::Cst && Step->getCst() == 1;
+  if (StepOne)
+    return true;
+  if (Step->getKind() != ArithExpr::Kind::Cst)
+    return false; // symbolic step: keep the exact-fit scheme as-is
+  std::int64_t St = Step->getCst();
+  if (St <= 0 || TileOutputs % St != 0) {
+    *Err = "tile advance " + std::to_string(TileOutputs) +
+           " is misaligned with window step " + std::to_string(St);
+    return false;
+  }
+  std::int64_t K = TileOutputs / St;
+  for (unsigned I = 0; I != N; ++I) {
+    if (OutExt[I]->getKind() != ArithExpr::Kind::Cst)
+      continue;
+    std::int64_t MDim = OutExt[I]->getCst();
+    if (MDim < K || MDim % K != 0) {
+      *Err = "tile-indivisible: remainder tiles at window step != 1 are "
+             "unsupported (extent " +
+             std::to_string(MDim) + ", tile of " + std::to_string(K) +
+             " outputs)";
+      return false;
+    }
+  }
+  return false;
+}
+
+/// Per-dimension tile advance for the clamped scheme: the requested
+/// k, clamped to the output extent where the extent is concrete and
+/// smaller (that dimension gets exactly one full-width tile). A
+/// symbolic extent keeps k -- the lowering's validity precondition
+/// extent >= k applies.
+std::vector<AExpr> clampTileSteps(unsigned N, const AExpr &V,
+                                  std::int64_t TileOutputs,
+                                  const std::vector<AExpr> &OutExt) {
+  std::vector<AExpr> Steps;
+  for (unsigned I = 0; I != N; ++I) {
+    if (OutExt[I]->getKind() == ArithExpr::Kind::Cst &&
+        OutExt[I]->getCst() < TileOutputs)
+      Steps.push_back(OutExt[I]);
+    else
+      Steps.push_back(V);
+  }
+  return Steps;
+}
+
 /// The actual lowering; the public entry point wraps it with a trace
 /// span and success/failure counters.
 Program lowerStencilImpl(const Program &P, const LoweringOptions &O,
@@ -240,6 +313,41 @@ Program lowerStencilImpl(const Program &P, const LoweringOptions &O,
   if (O.Tile) {
     AExpr V = cst(O.TileOutputs);
 
+    // Per-dimension output extents (outermost first). The clamped
+    // tiling scheme's joins need them, and they carry the validity
+    // checks below. Typing a throwaway program annotates Body.
+    {
+      Program Typed = makeProgram(Copy->getParams(), Body);
+      std::string TypeErr;
+      if (!tryInferTypes(Typed, &TypeErr))
+        return lowerFail(WhyNot, "cannot type the stencil body: " + TypeErr);
+    }
+    std::vector<AExpr> OutExt;
+    {
+      TypePtr T = Body->getType();
+      for (unsigned I = 0; I != N; ++I) {
+        if (!T || T->getKind() != Type::Kind::Array)
+          return lowerFail(WhyNot, "stencil output is not an n-d array");
+        OutExt.push_back(T->getSize());
+        T = T->getElem();
+      }
+    }
+    // Caller-supplied concrete extents refine symbolic dimensions so
+    // the per-dimension tile clamp and the ragged reassembly know the
+    // real grid. The caller promises to run the lowered program at
+    // exactly these output extents.
+    if (!O.OutputExtents.empty()) {
+      if (O.OutputExtents.size() != N)
+        return lowerFail(WhyNot,
+                         "OutputExtents has " +
+                             std::to_string(O.OutputExtents.size()) +
+                             " entries for a " + std::to_string(N) +
+                             "-d stencil");
+      for (unsigned I = 0; I != N; ++I)
+        if (OutExt[I]->getKind() != ArithExpr::Kind::Cst)
+          OutExt[I] = cst(O.OutputExtents[I]);
+    }
+
     // Single-grid shape: mapNd(f, slideNd(size, step, inner)).
     if (std::optional<SlideNdMatch> S = matchSlideNd(M->Input)) {
       if (S->Dims != N)
@@ -247,7 +355,24 @@ Program lowerStencilImpl(const Program &P, const LoweringOptions &O,
                          "slideNd dimensionality does not match the mapNd nest");
       // Tile extent u = v + (size - step), the §4.1 validity constraint.
       AExpr U = add(V, sub(S->Size, S->Step));
-      ExprPtr Tiles = slideNd(N, U, V, S->Inner);
+      std::string TileErr;
+      bool Clamp =
+          checkTileFit(N, O.TileOutputs, S->Step, OutExt, &TileErr);
+      if (!TileErr.empty())
+        return lowerFail(WhyNot, TileErr);
+      ExprPtr Tiles;
+      if (Clamp) {
+        // Per-dimension tile advance (clamped to short extents) with
+        // the matching per-dimension window extent u_d = k_d + size-1.
+        std::vector<AExpr> VSteps =
+            clampTileSteps(N, V, O.TileOutputs, OutExt);
+        std::vector<AExpr> USizes;
+        for (unsigned I = 0; I != N; ++I)
+          USizes.push_back(add(VSteps[I], sub(S->Size, S->Step)));
+        Tiles = slideClampNd(N, USizes, VSteps, S->Inner);
+      } else {
+        Tiles = slideNd(N, U, V, S->Inner);
+      }
 
       LambdaPtr F = M->F;
       auto SizeE = S->Size;
@@ -260,18 +385,21 @@ Program lowerStencilImpl(const Program &P, const LoweringOptions &O,
                             slideNd(N, SizeE, StepE, std::move(Staged)),
                             TC);
       });
-      Lowered = untileNd(N, buildMapNest(N, Prim::MapWrg, PerTile, Tiles));
+      Lowered = untileNd(N, buildMapNest(N, Prim::MapWrg, PerTile, Tiles),
+                         Clamp ? OutExt : std::vector<AExpr>{});
     } else if (std::optional<ZipNdMatch> Z = matchZipNd(M->Input, N)) {
       // Multi-grid shape: mapNd(f, zipNd(comps)). Components that are
       // themselves slideNd neighborhoods get overlapping tiles of
       // extent u (optionally staged in local memory); point-wise
-      // components get exact tiles of extent v. The per-tile zips line
-      // up because both produce v^n outputs per tile.
-      std::vector<bool> IsSlided;
-      std::vector<ExprPtr> TiledComps;
+      // components get tiles of k = v/step outputs. The per-tile zips
+      // line up because both produce k^n outputs per tile, and under
+      // the clamped scheme both tail starts shift by the same amount
+      // (input clamp n-u == step * output clamp m-k).
+      std::vector<std::optional<SlideNdMatch>> CompMatches;
       AExpr SizeE, StepE;
       for (const ExprPtr &Comp : Z->Comps) {
-        if (std::optional<SlideNdMatch> CS = matchSlideNd(Comp)) {
+        std::optional<SlideNdMatch> CS = matchSlideNd(Comp);
+        if (CS) {
           if (CS->Dims != N)
             return lowerFail(
                 WhyNot, "zip component slideNd dimensionality does not match "
@@ -286,18 +414,54 @@ Program lowerStencilImpl(const Program &P, const LoweringOptions &O,
                     CS->Step->toString() + ")");
           SizeE = CS->Size;
           StepE = CS->Step;
-          AExpr U = add(V, sub(CS->Size, CS->Step));
-          TiledComps.push_back(slideNd(N, U, V, CS->Inner));
-          IsSlided.push_back(true);
-          continue;
         }
-        TiledComps.push_back(slideNd(N, V, V, Comp));
-        IsSlided.push_back(false);
+        CompMatches.push_back(std::move(CS));
       }
       if (!SizeE)
         return lowerFail(WhyNot,
                          "tiling requested but no zip component is a slideNd "
                          "neighborhood: nothing to tile");
+
+      std::string TileErr;
+      bool Clamp = checkTileFit(N, O.TileOutputs, StepE, OutExt, &TileErr);
+      if (!TileErr.empty())
+        return lowerFail(WhyNot, TileErr);
+      // Point-wise components advance on the output lattice.
+      AExpr K = V;
+      if (StepE->getKind() == ArithExpr::Kind::Cst &&
+          StepE->getCst() > 0 && O.TileOutputs % StepE->getCst() == 0)
+        K = cst(O.TileOutputs / StepE->getCst());
+      // Clamped scheme (window step 1, so K == V): per-dimension tile
+      // advance, clamped to short extents; both component kinds shift
+      // their tails by the same amount (input clamp n-u equals the
+      // output clamp m-k), so the per-tile zips stay aligned.
+      std::vector<AExpr> VSteps =
+          Clamp ? clampTileSteps(N, V, O.TileOutputs, OutExt)
+                : std::vector<AExpr>{};
+
+      std::vector<bool> IsSlided;
+      std::vector<ExprPtr> TiledComps;
+      for (std::size_t I = 0, E2 = Z->Comps.size(); I != E2; ++I) {
+        if (CompMatches[I]) {
+          AExpr U = add(V, sub(SizeE, StepE));
+          if (Clamp) {
+            std::vector<AExpr> USizes;
+            for (unsigned D = 0; D != N; ++D)
+              USizes.push_back(add(VSteps[D], sub(SizeE, StepE)));
+            TiledComps.push_back(
+                slideClampNd(N, USizes, VSteps, CompMatches[I]->Inner));
+          } else {
+            TiledComps.push_back(slideNd(N, U, V, CompMatches[I]->Inner));
+          }
+          IsSlided.push_back(true);
+          continue;
+        }
+        TiledComps.push_back(Clamp
+                                 ? slideClampNd(N, VSteps, VSteps,
+                                                Z->Comps[I])
+                                 : slideNd(N, K, K, Z->Comps[I]));
+        IsSlided.push_back(false);
+      }
 
       LambdaPtr F = M->F;
       bool Local = O.UseLocalMem;
@@ -317,8 +481,10 @@ Program lowerStencilImpl(const Program &P, const LoweringOptions &O,
                             lift::stencil::zipNd(N, std::move(Parts)), TC);
       });
       Lowered = untileNd(
-          N, buildMapNest(N, Prim::MapWrg, PerTile,
-                          lift::stencil::zipNd(N, std::move(TiledComps))));
+          N,
+          buildMapNest(N, Prim::MapWrg, PerTile,
+                       lift::stencil::zipNd(N, std::move(TiledComps))),
+          Clamp ? OutExt : std::vector<AExpr>{});
     } else {
       return lowerFail(WhyNot,
                        "tiling requested but the input is neither a slideNd "

@@ -26,6 +26,8 @@
 
 #include "rewrite/Rules.h"
 
+#include <vector>
+
 namespace lift {
 namespace rewrite {
 
@@ -48,6 +50,16 @@ struct LoweringOptions {
   /// schedules with blocks smaller than tiles are expressed: each
   /// thread walks TileCoarsen points of its tile.
   std::int64_t TileCoarsen = 1;
+
+  /// Concrete per-dimension *output* extents (outermost first) the
+  /// lowered program will run at, when the caller knows them. Refines
+  /// symbolic output dimensions so the clamped tiling scheme can clamp
+  /// the per-dimension tile to a short extent (e.g. a 16-output tile
+  /// on a 4-deep dimension becomes one 4-output tile) — without this,
+  /// tiled lowerings of symbolic programs carry the validity
+  /// precondition extent >= TileOutputs. Empty: keep symbolic extents.
+  /// Does not participate in describe().
+  std::vector<std::int64_t> OutputExtents;
 
   /// e.g. "tiled16-local-unroll" / "global-coarsen4".
   std::string describe() const;

@@ -208,6 +208,8 @@ bool lift::rewrite::isLayoutOnly(const ExprPtr &E) {
   case Prim::Join:
   case Prim::Transpose:
   case Prim::Slide:
+  case Prim::SlideClamp:
+  case Prim::JoinClamp:
   case Prim::Pad:
   case Prim::At:
   case Prim::Get: {

@@ -71,6 +71,47 @@ ExprPtr lift::stencil::slideNd(unsigned N, AExpr Size, AExpr Step,
   return E;
 }
 
+ExprPtr lift::stencil::slideClampNd(unsigned N, AExpr Size, AExpr Step,
+                                    ExprPtr In) {
+  assert(N >= 1 && "slideClampNd needs at least one dimension");
+  if (N == 1)
+    return slideClamp(std::move(Size), std::move(Step), std::move(In));
+  // Same composition as slideNd with the clamped 1D primitive: the
+  // last window per dimension shifts left to cover the remainder.
+  ExprPtr Inner = map(lam("row", [&](ExprPtr Row) {
+                        return slideClampNd(N - 1, Size, Step, Row);
+                      }),
+                      std::move(In));
+  ExprPtr E = slideClamp(Size, Step, std::move(Inner));
+  for (unsigned K = 1; K != N; ++K)
+    E = mapAtDepth(
+        K, [](ExprPtr X) { return transpose(std::move(X)); }, E);
+  return E;
+}
+
+ExprPtr lift::stencil::slideClampNd(unsigned N,
+                                    const std::vector<AExpr> &Sizes,
+                                    const std::vector<AExpr> &Steps,
+                                    ExprPtr In) {
+  assert(N >= 1 && Sizes.size() == N && Steps.size() == N &&
+         "slideClampNd needs one size/step per dimension");
+  if (N == 1)
+    return slideClamp(Sizes[0], Steps[0], std::move(In));
+  std::vector<AExpr> InnerSizes(Sizes.begin() + 1, Sizes.end());
+  std::vector<AExpr> InnerSteps(Steps.begin() + 1, Steps.end());
+  ExprPtr Inner =
+      map(lam("row",
+              [&](ExprPtr Row) {
+                return slideClampNd(N - 1, InnerSizes, InnerSteps, Row);
+              }),
+          std::move(In));
+  ExprPtr E = slideClamp(Sizes[0], Steps[0], std::move(Inner));
+  for (unsigned K = 1; K != N; ++K)
+    E = mapAtDepth(
+        K, [](ExprPtr X) { return transpose(std::move(X)); }, E);
+  return E;
+}
+
 ExprPtr lift::stencil::stencilNd(unsigned N, LambdaPtr F, AExpr Size,
                                  AExpr Step, AExpr L, AExpr R, Boundary B,
                                  ExprPtr In) {

@@ -59,6 +59,18 @@ ir::ExprPtr padNdPerDim(unsigned N, AExpr L, AExpr R,
 /// window dimensions innermost.
 ir::ExprPtr slideNd(unsigned N, AExpr Size, AExpr Step, ir::ExprPtr In);
 
+/// slideNd with clamped window starts: the last window of every
+/// dimension is shifted left to min(w*step, n-size), so the tiling is
+/// legal even when step does not divide n - size (remainder tiles).
+ir::ExprPtr slideClampNd(unsigned N, AExpr Size, AExpr Step, ir::ExprPtr In);
+
+/// Per-dimension variant of the clamped slide (outermost dimension
+/// first): each dimension gets its own window size and step, so a
+/// dimension shorter than the tile can be covered by one full-width
+/// window. Requires Sizes.size() == Steps.size() == N.
+ir::ExprPtr slideClampNd(unsigned N, const std::vector<AExpr> &Sizes,
+                         const std::vector<AExpr> &Steps, ir::ExprPtr In);
+
 /// The canonical n-dimensional stencil shape (paper §3.4):
 /// mapNd(f, slideNd(size, step, padNd(l, r, b, input))).
 ir::ExprPtr stencilNd(unsigned N, ir::LambdaPtr F, AExpr Size, AExpr Step,

@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <limits>
 #include <memory>
 #include <mutex>
 
@@ -267,9 +268,20 @@ Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
       Why = PruneReason::TileStepMisaligned;
       return R;
     }
-    if (!dividesAll(O.TileOutputs, P.Measure) ||
-        !dividesAll(O.TileOutputs, P.Target)) {
+    // Remainder tiles are legal since the clamped-tail lowering: a
+    // tile no longer has to divide the grid, and a tile larger than a
+    // short extent is clamped to it per dimension. The one genuinely
+    // unsupported shape left is a remainder fit at window step != 1
+    // (the shifted tail tile would leave the output lattice;
+    // deferred), and the recorded WhyNot names it.
+    std::int64_t TileK = O.TileOutputs / B.WindowStep;
+    if (B.WindowStep != 1 &&
+        (!dividesAll(TileK, P.Measure) || !dividesAll(TileK, P.Target))) {
       Why = PruneReason::TileIndivisible;
+      R.WhyNot = std::string(pruneReasonName(Why)) +
+                 ": remainder tiles at window step != 1 are unsupported "
+                 "(tile of " +
+                 std::to_string(TileK) + " outputs)";
       return R;
     }
     if (O.TileCoarsen > 1 && O.TileOutputs % O.TileCoarsen != 0) {
@@ -294,7 +306,15 @@ Evaluated evalImpl(const TuningProblem &P, const DeviceSpec &Dev,
   }
 
   const BenchmarkInstance &I = P.Instance;
-  ir::Program Low = rewrite::lowerStencil(I.P, O);
+  // Lower against the concrete measurement extents: the clamped
+  // tiling scheme can then clamp a tile per dimension (e.g. a
+  // 16-output tile on Hotspot3D's 4-deep axis), which a fully
+  // symbolic lowering must refuse. Simulation and the measured
+  // objective both run at exactly these extents.
+  rewrite::LoweringOptions LO = O;
+  if (LO.OutputExtents.empty())
+    LO.OutputExtents.assign(P.Measure.begin(), P.Measure.end());
+  ir::Program Low = rewrite::lowerStencil(I.P, LO);
   if (!Low) {
     Why = PruneReason::LoweringFailed;
     return R;
@@ -388,7 +408,9 @@ Evaluated evalInstrumented(const TuningProblem &P, const DeviceSpec &Dev,
   CandSpan.arg("variant", C.describe());
   auto T0 = std::chrono::steady_clock::now();
   Evaluated R = evalImpl(P, Dev, C, Opts, Memo, Why, Rec);
-  if (!R.Valid)
+  // evalImpl may have filled in a detailed message (stable reason name
+  // as prefix); only fall back to the bare reason name when it did not.
+  if (!R.Valid && R.WhyNot.empty())
     R.WhyNot = pruneReasonName(Why);
   double WallUs = std::chrono::duration<double, std::micro>(
                       std::chrono::steady_clock::now() - T0)

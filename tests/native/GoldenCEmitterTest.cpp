@@ -171,6 +171,41 @@ TEST(GoldenCEmitter, Stencil2DTiledLocalProfiled) {
   checkGolden("stencil2d_tiled_local_profiled.c", native::emitC(C.K, PO));
 }
 
+// A remainder-tile kernel at concrete prime extents (53 x 47, tile
+// 16): LoweringOptions::OutputExtents makes the per-dimension clamp
+// concrete, so the snapshot shows the clamped tail tiles as constant
+// arithmetic — ceil-division trip counts (4 and 3 tiles) and
+// min(37, 16*i0) / min(31, 16*i1) tile starts — instead of symbolic
+// d0/d1 forms. Locks down that no tile start or local fill index can
+// exceed the grid.
+TEST(GoldenCEmitter, Stencil2DRemainderTile) {
+  LoweringOptions O;
+  O.Tile = true;
+  O.TileOutputs = 16;
+  O.UseLocalMem = true;
+  O.OutputExtents = {53, 47};
+  checkGolden("stencil2d_remainder_tile.c", emitBenchmark("Stencil2D", O));
+}
+
+// The same remainder-tile kernel in profile mode: timer regions must
+// wrap the clamped loop nests without perturbing their bounds.
+TEST(GoldenCEmitter, Stencil2DRemainderTileProfiled) {
+  const Benchmark &B = findBenchmark("Stencil2D");
+  BenchmarkInstance I = B.Build();
+  LoweringOptions O;
+  O.Tile = true;
+  O.TileOutputs = 16;
+  O.UseLocalMem = true;
+  O.OutputExtents = {53, 47};
+  std::string WhyNot;
+  ir::Program Low = lowerStencil(I.P, O, &WhyNot);
+  ASSERT_TRUE(bool(Low)) << WhyNot;
+  codegen::Compiled C = codegen::compileProgram(Low, B.Name);
+  native::CEmitOptions PO;
+  PO.Profile = true;
+  checkGolden("stencil2d_remainder_tile_profiled.c", native::emitC(C.K, PO));
+}
+
 // Determinism contract behind both the golden files and the kernel
 // cache: two independent builds of the same benchmark emit
 // byte-identical source even though their size-variable ids differ.

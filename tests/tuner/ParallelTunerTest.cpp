@@ -81,33 +81,59 @@ TEST(ParallelTuner, MemoDeduplicatesEquivalentLowerings) {
   EXPECT_EQ(RM.Best.C.describe(), RN.Best.C.describe());
 }
 
-TEST(ParallelTuner, ReportsPruneStatsPerConstraint) {
-  // SRAD1's 504x458 grid is indivisible by 16/32/64 tiles, so the
-  // trimmed space prunes deterministically countable candidates.
+TEST(ParallelTuner, RemainderTilesAreNotPruned) {
+  // SRAD1's 504x458 grid is indivisible by 8/16/32/64 tiles (and its
+  // 56x56 measurement grid cannot even hold a full 64-output tile).
+  // Since the clamped remainder-tile lowering all those candidates
+  // are legal -- short extents clamp the tile per dimension -- so the
+  // tuner must evaluate them instead of recording stale
+  // tile-indivisible prunes.
   const Benchmark &B = findBenchmark("SRAD1");
   TuningProblem P = makeProblem(B, false);
   TuningSpace S = liftSpace();
   DeviceSpec Dev = deviceNvidiaK20c();
 
   TuneResult R = tuneStencil(P, Dev, S);
+  EXPECT_EQ(R.Prunes.TileIndivisible, 0u);
+  EXPECT_EQ(R.Prunes.describe().find("tile-indivisible"), std::string::npos);
+  // Tiled candidates survived into the valid set.
+  bool SawTiled = false;
+  for (const auto &E : R.All)
+    SawTiled |= E.C.Options.Tile;
+  EXPECT_TRUE(SawTiled);
+}
+
+TEST(ParallelTuner, StepTwoRemainderPrunesWithDetail) {
+  // A remainder fit at window step != 1 is the one shape that stays
+  // genuinely unsupported (the shifted tail tile would leave the
+  // output lattice), so the prune survives -- and the recorded reason
+  // names why.
+  Benchmark B = findBenchmark("SRAD1"); // 504 x 458
+  B.WindowStep = 2;
+  TuningProblem P = makeProblem(B, false);
+  TuningSpace S;
+  S.AllowUntiled = true;
+  S.AllowTiling = true;
+  S.TileOutputs = {64}; // k = 32 outputs; 458 % 32 != 0 -> unsupported
+  S.TileCoarsenFactors = {1};
+  DeviceSpec Dev = deviceNvidiaK20c();
+
+  TuneResult R = tuneStencil(P, Dev, S);
   EXPECT_GT(R.Prunes.TileIndivisible, 0u);
-  EXPECT_GT(R.Prunes.total(), 0u);
-  EXPECT_NE(R.Prunes.describe(), "none");
-  // Candidate bookkeeping is consistent: every enumerated candidate is
-  // either valid or accounted for by a prune reason.
-  EXPECT_EQ(R.Prunes.describe().find("tile-indivisible") == std::string::npos,
-            false);
+  EXPECT_NE(R.Prunes.describe().find("tile-indivisible"), std::string::npos);
 }
 
 TEST(ParallelTunerDeathTest, AllCandidatesPrunedExplainsWhy) {
-  // A space whose only tile size divides nothing: every candidate is
-  // rejected and the error must carry the per-constraint breakdown.
-  const Benchmark &B = findBenchmark("SRAD1"); // 504 x 458
+  // A space whose only tile size leaves a step-2 remainder: every
+  // candidate is rejected and the error must carry the per-constraint
+  // breakdown.
+  Benchmark B = findBenchmark("SRAD1"); // 504 x 458
+  B.WindowStep = 2;
   TuningProblem P = makeProblem(B, false);
   TuningSpace S;
   S.AllowUntiled = false;
   S.AllowTiling = true;
-  S.TileOutputs = {64}; // 458 % 64 != 0 -> tile-indivisible, always
+  S.TileOutputs = {64}; // k = 32; 458 % 32 != 0 -> tile-indivisible
   S.TileCoarsenFactors = {1};
   DeviceSpec Dev = deviceNvidiaK20c();
   EXPECT_DEATH(tuneStencil(P, Dev, S), "candidates pruned.*tile-indivisible");

@@ -20,10 +20,14 @@
 //                                snapshots (default 0.02 ms)
 //
 // Row identity is the tuple of the row's string fields ("name" plus
-// "variant"/"grid"/... when present), so renaming a benchmark reads
-// as a removal. A row present in the baseline but missing from the
-// current snapshot is a failure: silently losing coverage is the
-// regression CI exists to catch. Metric direction comes from the
+// "variant"/"grid"/... when present, but never "skipped"), so
+// renaming a benchmark reads as a removal. A row present in the
+// baseline but missing from the current snapshot is a failure:
+// silently losing coverage is the regression CI exists to catch. A
+// baseline row marked "skipped" (e.g. "tile-indivisible") that the
+// current run measures is the opposite -- a coverage gain -- and is
+// reported as MEASURED without failing; the reverse transition fails
+// like a missing row. Metric direction comes from the
 // name: *_ms / ns_per_iter / *_seconds are lower-is-better,
 // *_per_sec / speedup are higher-is-better, anything else
 // (iterations, max_err, memo_hits, the "meta" provenance block, ...)
@@ -84,11 +88,15 @@ bool belowNoiseFloor(const Options &O, const std::string &Key, double Base,
 }
 
 /// "name=BM_Baseline variant=global": every string field of the row,
-/// in insertion order, identifies it across the two snapshots.
+/// in insertion order, identifies it across the two snapshots. The
+/// "skipped" field is *excluded* from the identity on purpose: a row
+/// that was "skipped": "tile-indivisible" in the baseline and is
+/// measured in the current run is the same benchmark gaining
+/// coverage, not a renamed row.
 std::string rowKey(const Value &Row) {
   std::string Key;
   for (const auto &KV : Row.object())
-    if (KV.second.kind() == Value::Kind::String)
+    if (KV.second.kind() == Value::Kind::String && KV.first != "skipped")
       Key += KV.first + "=" + KV.second.asString() + " ";
   if (!Key.empty())
     Key.pop_back();
@@ -185,7 +193,7 @@ int main(int argc, char **argv) {
   if (!loadJson(Paths[0], Base) || !loadJson(Paths[1], Cur))
     return 2;
 
-  unsigned Compared = 0, Regressions = 0, Missing = 0;
+  unsigned Compared = 0, Regressions = 0, Missing = 0, Gained = 0;
   for (const RowTable &BT : rowTables(Base)) {
     // The same section in the current snapshot, or an empty table.
     RowTable CT;
@@ -197,6 +205,30 @@ int main(int argc, char **argv) {
       const Value *CRow = findRow(CT, Key);
       if (!CRow) {
         std::printf("MISSING  %s/%s\n", BT.Section.c_str(), Key.c_str());
+        ++Missing;
+        continue;
+      }
+      // Skipped-row transitions: measuring a row the baseline only
+      // skipped is a coverage gain (report, never fail); skipping a
+      // row the baseline measured is a coverage loss (fails like a
+      // missing row). Both directions have no metrics to compare.
+      const Value *BSkip = BRow->find("skipped");
+      const Value *CSkip = CRow->find("skipped");
+      if (BSkip && !CSkip) {
+        std::printf("MEASURED %s/%s (baseline skipped: %s)\n",
+                    BT.Section.c_str(), Key.c_str(),
+                    BSkip->kind() == Value::Kind::String
+                        ? BSkip->asString().c_str()
+                        : "?");
+        ++Gained;
+        continue;
+      }
+      if (!BSkip && CSkip) {
+        std::printf("SKIPPED  %s/%s (now skipped: %s)\n", BT.Section.c_str(),
+                    Key.c_str(),
+                    CSkip->kind() == Value::Kind::String
+                        ? CSkip->asString().c_str()
+                        : "?");
         ++Missing;
         continue;
       }
@@ -237,7 +269,11 @@ int main(int argc, char **argv) {
                 Missing == 1 ? "" : "s", Compared, Compared == 1 ? "" : "s");
     return 1;
   }
-  std::printf("bench_diff: OK (%u metric%s compared, max ratio %.2fx)\n",
-              Compared, Compared == 1 ? "" : "s", O.MaxRatio);
+  std::printf("bench_diff: OK (%u metric%s compared, max ratio %.2fx%s)\n",
+              Compared, Compared == 1 ? "" : "s", O.MaxRatio,
+              Gained ? (", " + std::to_string(Gained) + " row(s) gained "
+                        "coverage")
+                           .c_str()
+                     : "");
   return 0;
 }

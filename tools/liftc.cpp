@@ -341,8 +341,6 @@ int profileCompiled(const Args &A, const Benchmark &B,
 int cmdProfile(const Args &A) {
   const Benchmark &B = findBenchmark(A.Bench);
   BenchmarkInstance I = B.Build();
-  ir::Program Low = lowerOrDie(B, I, A.Options);
-  Compiled C = compileProgram(Low, B.Name);
   Extents E = A.ExtentsOverride.empty() ? B.MeasureExtents
                                         : A.ExtentsOverride;
   if (E.size() != B.Dims) {
@@ -350,6 +348,12 @@ int cmdProfile(const Args &A) {
                  B.Dims);
     return 1;
   }
+  // Lower at the concrete extents so the clamped tiling scheme can
+  // clamp per-dimension tiles to short extents.
+  rewrite::LoweringOptions LO = A.Options;
+  LO.OutputExtents.assign(E.begin(), E.end());
+  ir::Program Low = lowerOrDie(B, I, LO);
+  Compiled C = compileProgram(Low, B.Name);
   auto Env = makeSizeEnv(I, E);
   if (!applyAnalysis(A, C, &Env))
     return 1;
@@ -410,9 +414,6 @@ int cmdRunNative(const Args &A, const Benchmark &B,
 int cmdRun(const Args &A) {
   const Benchmark &B = findBenchmark(A.Bench);
   BenchmarkInstance I = B.Build();
-  ir::Program Low = lowerOrDie(B, I, A.Options);
-  Compiled C = compileProgram(Low, B.Name);
-
   Extents E = A.ExtentsOverride.empty() ? B.MeasureExtents
                                         : A.ExtentsOverride;
   if (E.size() != B.Dims) {
@@ -420,6 +421,11 @@ int cmdRun(const Args &A) {
                  B.Dims);
     return 1;
   }
+  // Lower at the concrete extents (see cmdProfile).
+  rewrite::LoweringOptions LO = A.Options;
+  LO.OutputExtents.assign(E.begin(), E.end());
+  ir::Program Low = lowerOrDie(B, I, LO);
+  Compiled C = compileProgram(Low, B.Name);
   auto Env = makeSizeEnv(I, E);
   if (!applyAnalysis(A, C, &Env))
     return 1;
@@ -575,7 +581,14 @@ int main(int Argc, char **Argv) {
   if (A.Command == "emit") {
     const Benchmark &B = findBenchmark(A.Bench);
     BenchmarkInstance I = B.Build();
-    ir::Program Low = lowerOrDie(B, I, A.Options);
+    // With --extents the emission is concrete end to end: the lowering
+    // clamps per-dimension tiles to short extents and the bounds
+    // checker sees the same sizes. Without it, emission is symbolic.
+    rewrite::LoweringOptions LO = A.Options;
+    if (!A.ExtentsOverride.empty() && A.ExtentsOverride.size() == B.Dims)
+      LO.OutputExtents.assign(A.ExtentsOverride.begin(),
+                              A.ExtentsOverride.end());
+    ir::Program Low = lowerOrDie(B, I, LO);
     Compiled C = compileProgram(Low, B.Name);
     std::unordered_map<unsigned, std::int64_t> Env;
     const std::unordered_map<unsigned, std::int64_t> *Sizes = nullptr;

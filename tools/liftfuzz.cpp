@@ -158,6 +158,9 @@ int main(int Argc, char **Argv) {
     std::string Extra;
     if (O.Diff.CheckBounds)
       Extra = " bounds-unproven=" + std::to_string(Stats.BoundsUnproven);
+    if (O.Diff.TryTiled)
+      Extra += " tiled-remainder=" + std::to_string(Stats.TiledRemainder) +
+               " tiled-indivisible=" + std::to_string(Stats.TiledIndivisible);
     std::printf("liftfuzz: seed=%llu count=%llu ok=%u discarded=%u "
                 "mismatches=%u skipped-rewrites=%u%s%s\n",
                 (unsigned long long)Seed, (unsigned long long)Count,
@@ -202,5 +205,12 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  if (Stats.TiledIndivisible != 0) {
+    std::fprintf(stderr,
+                 "liftfuzz: %u tile(s) the picker judged legal were refused "
+                 "as tile-indivisible by the lowering\n",
+                 Stats.TiledIndivisible);
+    return 1;
+  }
   return Stats.Mismatches == 0 ? 0 : 1;
 }
